@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Ablation 4: cost of the model itself. The paper pitches Gables as
+ * an early-stage tool usable interactively and inside optimizers;
+ * these google-benchmark timings show evaluation scales linearly in
+ * N and stays in the nanosecond-to-microsecond regime even for
+ * 1024-IP chips, and that the design-space explorer and optimal-
+ * split solver are interactive-speed.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "analysis/explorer.h"
+#include "analysis/optimal_split.h"
+#include "analysis/sensitivity.h"
+#include "bench_util.h"
+#include "core/gables.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace gables;
+
+/** Build a synthetic N-IP SoC and matching usecase. */
+std::pair<SocSpec, Usecase>
+synthetic(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<IpSpec> ips;
+    for (size_t i = 0; i < n; ++i) {
+        ips.push_back(IpSpec{"IP" + std::to_string(i),
+                             i == 0 ? 1.0 : rng.logUniform(0.5, 50.0),
+                             rng.logUniform(2e9, 50e9)});
+    }
+    SocSpec soc("synthetic", 10e9, 30e9, std::move(ips));
+    std::vector<double> f = rng.simplex(n);
+    std::vector<IpWork> work(n);
+    for (size_t i = 0; i < n; ++i)
+        work[i] = IpWork{f[i], rng.logUniform(0.1, 64.0)};
+    return {soc, Usecase("synthetic", std::move(work))};
+}
+
+void
+BM_EvaluateNIp(benchmark::State &state)
+{
+    auto [soc, u] = synthetic(static_cast<size_t>(state.range(0)), 7);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            GablesModel::evaluate(soc, u).attainable);
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EvaluateNIp)->RangeMultiplier(4)->Range(2, 1024)
+    ->Complexity(benchmark::oN);
+
+void
+BM_PerfFormNIp(benchmark::State &state)
+{
+    auto [soc, u] = synthetic(static_cast<size_t>(state.range(0)), 7);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            GablesModel::attainablePerfForm(soc, u));
+    }
+}
+BENCHMARK(BM_PerfFormNIp)->Range(2, 1024);
+
+void
+BM_OptimalSplitNIp(benchmark::State &state)
+{
+    size_t n = static_cast<size_t>(state.range(0));
+    auto [soc, u] = synthetic(n, 11);
+    Rng rng(13);
+    std::vector<double> intensities;
+    for (size_t i = 0; i < n; ++i)
+        intensities.push_back(rng.logUniform(0.1, 64.0));
+    OptimalSplitSolver solver(soc, intensities);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(solver.solve().attainable);
+    }
+}
+BENCHMARK(BM_OptimalSplitNIp)->Range(2, 256);
+
+void
+BM_SensitivityNIp(benchmark::State &state)
+{
+    auto [soc, u] = synthetic(static_cast<size_t>(state.range(0)),
+                              17);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            Sensitivity::analyze(soc, u).size());
+    }
+}
+BENCHMARK(BM_SensitivityNIp)->Range(2, 64);
+
+void
+BM_Explorer1kDesigns(benchmark::State &state)
+{
+    auto [soc, u] = synthetic(3, 23);
+    CostModel cost;
+    cost.costPerBpeak = 1e-9;
+    DesignExplorer ex(soc, {u}, cost);
+    std::vector<double> bpeaks, accels;
+    for (int i = 0; i < 32; ++i)
+        bpeaks.push_back((i + 1) * 2e9);
+    for (int i = 0; i < 32; ++i)
+        accels.push_back(1.0 + i);
+    ex.sweepBpeak(bpeaks);
+    ex.sweepAcceleration(1, accels);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ex.explore().size()); // 1024 designs
+    }
+}
+BENCHMARK(BM_Explorer1kDesigns)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    gables::bench::banner(
+        "Ablation 4",
+        "model-evaluation cost vs N (google-benchmark timings)");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

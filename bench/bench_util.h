@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared helpers for the benchmark/reproduction binaries: a
+ * paper-vs-measured comparison table and standard headers. Each
+ * bench binary prints its reproduction tables first, then runs any
+ * registered google-benchmark timings.
+ */
+
+#ifndef GABLES_BENCH_BENCH_UTIL_H
+#define GABLES_BENCH_BENCH_UTIL_H
+
+#include <iostream>
+#include <string>
+
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace gables {
+namespace bench {
+
+/** Print a banner naming the experiment being regenerated. */
+inline void
+banner(const std::string &experiment, const std::string &what)
+{
+    std::cout << "\n=== " << experiment << ": " << what << " ===\n";
+}
+
+/**
+ * A paper-vs-measured table: rows carry the quantity, the paper's
+ * value, our value, and the relative error.
+ */
+class ComparisonTable
+{
+  public:
+    ComparisonTable()
+        : table_({"quantity", "paper", "ours", "rel.err"})
+    {
+        table_.setAlign(0, TextTable::Align::Left);
+    }
+
+    /** Add one comparison row; values are formatted by the caller. */
+    void
+    add(const std::string &quantity, double paper, double ours,
+        const std::string &unit, int precision = 4)
+    {
+        double err = paper != 0.0 ? (ours - paper) / paper : 0.0;
+        table_.addRow({quantity,
+                       formatDouble(paper, precision) + " " + unit,
+                       formatDouble(ours, precision) + " " + unit,
+                       formatDouble(err * 100.0, 2) + "%"});
+    }
+
+    /** Print the table to stdout. */
+    void
+    print() const
+    {
+        std::cout << table_.render();
+    }
+
+  private:
+    TextTable table_;
+};
+
+} // namespace bench
+} // namespace gables
+
+#endif // GABLES_BENCH_BENCH_UTIL_H

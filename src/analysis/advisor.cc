@@ -1,0 +1,232 @@
+#include "analysis/advisor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "analysis/balance.h"
+#include "analysis/optimal_split.h"
+#include "util/logging.h"
+#include "util/strings.h"
+#include "util/units.h"
+
+namespace gables {
+
+std::string
+toString(AdviceKind kind)
+{
+    switch (kind) {
+      case AdviceKind::RaiseBpeak:
+        return "raise Bpeak";
+      case AdviceKind::RaiseIpBandwidth:
+        return "raise IP link bandwidth";
+      case AdviceKind::RaiseAcceleration:
+        return "raise IP acceleration";
+      case AdviceKind::RaiseIntensity:
+        return "raise operational intensity";
+      case AdviceKind::Resplit:
+        return "re-apportion work";
+      case AdviceKind::ShrinkSlack:
+        return "shrink over-provisioned resource";
+    }
+    return "unknown";
+}
+
+double
+Advisor::minimalScale(const std::function<double(double)> &perf_at_scale,
+                      double max_scale)
+{
+    double target = perf_at_scale(max_scale);
+    double lo = 1.0;
+    double hi = max_scale;
+    for (int iter = 0; iter < 60; ++iter) {
+        double mid = std::sqrt(lo * hi);
+        if (perf_at_scale(mid) >= target * (1.0 - 1e-9))
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return hi;
+}
+
+std::vector<Advice>
+Advisor::advise(const SocSpec &soc, const Usecase &usecase,
+                const Options &options)
+{
+    if (!(options.maxScale > 1.0))
+        fatal("advisor maxScale must exceed 1");
+
+    const double base = GablesModel::evaluate(soc, usecase).attainable;
+    std::vector<Advice> advice;
+
+    auto consider = [&](AdviceKind kind, int ip, double before,
+                        double max_scale,
+                        const std::function<double(double)> &perf_at,
+                        const std::function<std::string(double)>
+                            &describe) {
+        double best = perf_at(max_scale);
+        if (best < base * options.minGain)
+            return;
+        double scale = minimalScale(perf_at, max_scale);
+        Advice a;
+        a.kind = kind;
+        a.ip = ip;
+        a.before = before;
+        a.after = before * scale;
+        a.newAttainable = perf_at(scale);
+        a.gain = a.newAttainable / base;
+        a.description = describe(a.after);
+        advice.push_back(std::move(a));
+    };
+
+    // Chip-level: Bpeak.
+    consider(
+        AdviceKind::RaiseBpeak, -1, soc.bpeak(), options.maxScale,
+        [&](double s) {
+            return GablesModel::evaluate(soc.withBpeak(soc.bpeak() * s),
+                                         usecase)
+                .attainable;
+        },
+        [&](double after) {
+            return "raise Bpeak from " + formatByteRate(soc.bpeak()) +
+                   " to " + formatByteRate(after);
+        });
+
+    // Per-IP knobs.
+    for (size_t i = 0; i < soc.numIps(); ++i) {
+        if (usecase.fraction(i) == 0.0)
+            continue;
+        const IpSpec &ip = soc.ip(i);
+        std::string who = ip.name.empty()
+                              ? "IP[" + std::to_string(i) + "]"
+                              : ip.name;
+
+        consider(
+            AdviceKind::RaiseIpBandwidth, static_cast<int>(i),
+            ip.bandwidth, options.maxScale,
+            [&, i](double s) {
+                return GablesModel::evaluate(
+                           soc.withIpBandwidth(i, ip.bandwidth * s),
+                           usecase)
+                    .attainable;
+            },
+            [&, who](double after) {
+                return "widen " + who + " link from " +
+                       formatByteRate(ip.bandwidth) + " to " +
+                       formatByteRate(after);
+            });
+
+        if (i > 0) { // A0 is pinned to 1 by the model
+            consider(
+                AdviceKind::RaiseAcceleration, static_cast<int>(i),
+                ip.acceleration, options.maxScale,
+                [&, i](double s) {
+                    return GablesModel::evaluate(
+                               soc.withIpAcceleration(
+                                   i, ip.acceleration * s),
+                               usecase)
+                        .attainable;
+                },
+                [&, who](double after) {
+                    return "grow " + who + " acceleration from " +
+                           formatDouble(ip.acceleration, 3) + " to " +
+                           formatDouble(after, 3);
+                });
+        }
+
+        double intensity = usecase.intensity(i);
+        if (!std::isinf(intensity)) {
+            consider(
+                AdviceKind::RaiseIntensity, static_cast<int>(i),
+                intensity, options.maxIntensityScale,
+                [&, i, intensity](double s) {
+                    Usecase modified = usecase.withWork(
+                        i, IpWork{usecase.fraction(i),
+                                  intensity * s});
+                    return GablesModel::evaluate(soc, modified)
+                        .attainable;
+                },
+                [&, who](double after) {
+                    return "increase data reuse at " + who +
+                           " to I = " + formatDouble(after, 3) +
+                           " ops/byte (software + local memory)";
+                });
+        }
+    }
+
+    // Software: optimal re-split at current intensities.
+    {
+        std::vector<double> intensities;
+        bool feasible = true;
+        for (size_t i = 0; i < soc.numIps(); ++i) {
+            double v = usecase.intensity(i);
+            if (!(v > 0.0))
+                feasible = false;
+            intensities.push_back(v);
+        }
+        if (feasible) {
+            OptimalSplit split =
+                OptimalSplitSolver(soc, intensities).solve();
+            if (split.attainable >= base * options.minGain) {
+                Advice a;
+                a.kind = AdviceKind::Resplit;
+                a.newAttainable = split.attainable;
+                a.gain = split.attainable / base;
+                std::string f_list;
+                for (size_t i = 0; i < split.fractions.size(); ++i)
+                    f_list += (i ? ", " : "") +
+                              formatDouble(split.fractions[i], 3);
+                a.description =
+                    "re-apportion work to f = {" + f_list + "}";
+                advice.push_back(std::move(a));
+            }
+        }
+    }
+
+    std::sort(advice.begin(), advice.end(),
+              [](const Advice &a, const Advice &b) {
+                  return a.gain > b.gain;
+              });
+
+    // Slack report: resources that can shrink for free.
+    double sufficient_bpeak = Balance::sufficientBpeak(soc, usecase);
+    if (sufficient_bpeak > 0.0 &&
+        sufficient_bpeak < soc.bpeak() * 0.999) {
+        Advice a;
+        a.kind = AdviceKind::ShrinkSlack;
+        a.before = soc.bpeak();
+        a.after = sufficient_bpeak;
+        a.newAttainable = base;
+        a.gain = 1.0;
+        a.description = "Bpeak of " + formatByteRate(soc.bpeak()) +
+                        " is over-provisioned; " +
+                        formatByteRate(sufficient_bpeak) +
+                        " suffices for this usecase";
+        advice.push_back(std::move(a));
+    }
+    for (size_t i = 0; i < soc.numIps(); ++i) {
+        if (usecase.fraction(i) == 0.0)
+            continue;
+        double sufficient =
+            Balance::sufficientIpBandwidth(soc, usecase, i);
+        if (sufficient > 0.0 &&
+            sufficient < soc.ip(i).bandwidth * 0.999) {
+            Advice a;
+            a.kind = AdviceKind::ShrinkSlack;
+            a.ip = static_cast<int>(i);
+            a.before = soc.ip(i).bandwidth;
+            a.after = sufficient;
+            a.newAttainable = base;
+            a.gain = 1.0;
+            a.description =
+                soc.ip(i).name + " link of " +
+                formatByteRate(soc.ip(i).bandwidth) +
+                " is over-provisioned; " + formatByteRate(sufficient) +
+                " suffices";
+            advice.push_back(std::move(a));
+        }
+    }
+    return advice;
+}
+
+} // namespace gables

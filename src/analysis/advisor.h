@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The design advisor: automates the paper's Figure 6 reasoning.
+ * Given a SoC and a usecase, it enumerates the design moves an
+ * architect (or software lead) could make — more off-chip bandwidth,
+ * a wider IP link, a bigger accelerator, more data reuse, a better
+ * work split — evaluates each with the model, and returns them
+ * ranked by predicted gain. It also flags over-provisioned
+ * resources that could be shrunk for free (the Figure 6d move of
+ * cutting Bpeak from 30 to 20 GB/s).
+ */
+
+#ifndef GABLES_ANALYSIS_ADVISOR_H
+#define GABLES_ANALYSIS_ADVISOR_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/gables.h"
+
+namespace gables {
+
+/** The kind of design move an advice item proposes. */
+enum class AdviceKind {
+    /** Raise the off-chip bandwidth Bpeak. */
+    RaiseBpeak,
+    /** Raise one IP's link bandwidth Bi. */
+    RaiseIpBandwidth,
+    /** Raise one IP's acceleration Ai. */
+    RaiseAcceleration,
+    /** Raise one IP's operational intensity Ii (software reuse). */
+    RaiseIntensity,
+    /** Re-apportion the work fractions optimally. */
+    Resplit,
+    /** Shrink an over-provisioned resource at no performance cost. */
+    ShrinkSlack,
+};
+
+/** @return A short display string for an advice kind. */
+std::string toString(AdviceKind kind);
+
+/** One ranked suggestion. */
+struct Advice {
+    /** The move's kind. */
+    AdviceKind kind = AdviceKind::RaiseBpeak;
+    /** Affected IP index, or -1 for chip-level moves. */
+    int ip = -1;
+    /** Human-readable description with concrete numbers. */
+    std::string description;
+    /** Parameter value before the move. */
+    double before = 0.0;
+    /** Proposed parameter value. */
+    double after = 0.0;
+    /** Attainable performance if the move is applied (ops/s). */
+    double newAttainable = 0.0;
+    /** newAttainable / current attainable. */
+    double gain = 1.0;
+};
+
+/**
+ * The advisor. Stateless; configuration knobs control how far each
+ * move may scale a parameter.
+ */
+class Advisor
+{
+  public:
+    /** Tuning knobs. */
+    struct Options {
+        /** Cap on how far any parameter may be scaled up. */
+        double maxScale = 4.0;
+        /** Ignore moves with gain below this factor. */
+        double minGain = 1.005;
+        /** Intensities are software-changeable up to this factor. */
+        double maxIntensityScale = 16.0;
+    };
+
+    /**
+     * Analyze and rank moves.
+     *
+     * @param soc     Hardware description.
+     * @param usecase Software description.
+     * @param options Tuning knobs.
+     * @return Improvement moves sorted by descending gain, followed
+     *         by ShrinkSlack items (gain == 1 by construction).
+     */
+    static std::vector<Advice> advise(const SocSpec &soc,
+                                      const Usecase &usecase,
+                                      const Options &options);
+
+    /** advise() with default options. */
+    static std::vector<Advice>
+    advise(const SocSpec &soc, const Usecase &usecase)
+    {
+        return advise(soc, usecase, Options{});
+    }
+
+  private:
+    /**
+     * Smallest scale in (1, max_scale] of a monotone knob that
+     * realizes (nearly) the performance at max_scale, found by
+     * bisection — proposals are "just enough", not maximal.
+     */
+    static double minimalScale(
+        const std::function<double(double)> &perf_at_scale,
+        double max_scale);
+};
+
+} // namespace gables
+
+#endif // GABLES_ANALYSIS_ADVISOR_H

@@ -1,0 +1,148 @@
+#include "analysis/explorer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace gables {
+
+double
+CostModel::cost(const SocSpec &soc) const
+{
+    double accel = 0.0;
+    double ip_bw = 0.0;
+    for (const IpSpec &ip : soc.ips()) {
+        accel += ip.acceleration;
+        ip_bw += ip.bandwidth;
+    }
+    return costPerAcceleration * accel + costPerBpeak * soc.bpeak() +
+           costPerIpBandwidth * ip_bw;
+}
+
+DesignExplorer::DesignExplorer(SocSpec base, std::vector<Usecase> usecases,
+                               CostModel cost)
+    : base_(std::move(base)), usecases_(std::move(usecases)),
+      cost_(cost)
+{
+    if (usecases_.empty())
+        fatal("design explorer needs at least one usecase");
+    for (const Usecase &u : usecases_) {
+        if (u.numIps() != base_.numIps())
+            fatal("usecase '" + u.name() +
+                  "' does not match the base design's IP count");
+    }
+}
+
+void
+DesignExplorer::sweepBpeak(std::vector<double> values)
+{
+    if (values.empty())
+        fatal("empty sweep values");
+    knobs_.push_back({[](const SocSpec &s, double v) {
+                          return s.withBpeak(v);
+                      },
+                      std::move(values)});
+}
+
+void
+DesignExplorer::sweepAcceleration(size_t ip, std::vector<double> values)
+{
+    if (values.empty())
+        fatal("empty sweep values");
+    if (ip == 0)
+        fatal("cannot sweep A0: the paper fixes A0 = 1");
+    knobs_.push_back({[ip](const SocSpec &s, double v) {
+                          return s.withIpAcceleration(ip, v);
+                      },
+                      std::move(values)});
+}
+
+void
+DesignExplorer::sweepIpBandwidth(size_t ip, std::vector<double> values)
+{
+    if (values.empty())
+        fatal("empty sweep values");
+    knobs_.push_back({[ip](const SocSpec &s, double v) {
+                          return s.withIpBandwidth(ip, v);
+                      },
+                      std::move(values)});
+}
+
+std::vector<Candidate>
+DesignExplorer::explore() const
+{
+    std::vector<Candidate> candidates;
+
+    // Enumerate the cross product with an odometer over knob values.
+    std::vector<size_t> idx(knobs_.size(), 0);
+    bool done = false;
+    while (!done) {
+        SocSpec design = base_;
+        for (size_t k = 0; k < knobs_.size(); ++k)
+            design = knobs_[k].apply(design, knobs_[k].values[idx[k]]);
+
+        Candidate c{design, 0.0, {}, cost_.cost(design), false};
+        double min_perf = std::numeric_limits<double>::infinity();
+        for (const Usecase &u : usecases_) {
+            double p = GablesModel::evaluate(design, u).attainable;
+            c.perUsecase.push_back(p);
+            min_perf = std::min(min_perf, p);
+        }
+        c.minPerf = min_perf;
+        candidates.push_back(std::move(c));
+
+        // Advance the odometer.
+        done = true;
+        for (size_t k = 0; k < knobs_.size(); ++k) {
+            if (++idx[k] < knobs_[k].values.size()) {
+                done = false;
+                break;
+            }
+            idx[k] = 0;
+        }
+        if (knobs_.empty())
+            done = true;
+    }
+
+    // Pareto marking: candidate c is dominated if another candidate
+    // has >= perf and <= cost with at least one strict.
+    for (size_t i = 0; i < candidates.size(); ++i) {
+        bool dominated = false;
+        for (size_t j = 0; j < candidates.size() && !dominated; ++j) {
+            if (i == j)
+                continue;
+            const Candidate &a = candidates[j];
+            const Candidate &b = candidates[i];
+            bool better_or_equal =
+                a.minPerf >= b.minPerf && a.cost <= b.cost;
+            bool strictly_better =
+                a.minPerf > b.minPerf || a.cost < b.cost;
+            dominated = better_or_equal && strictly_better;
+        }
+        candidates[i].pareto = !dominated;
+    }
+
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  return a.minPerf > b.minPerf;
+              });
+    return candidates;
+}
+
+std::vector<Candidate>
+DesignExplorer::frontier(const std::vector<Candidate> &candidates)
+{
+    std::vector<Candidate> out;
+    for (const Candidate &c : candidates) {
+        if (c.pareto)
+            out.push_back(c);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  return a.cost < b.cost;
+              });
+    return out;
+}
+
+} // namespace gables

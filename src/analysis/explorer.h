@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Early-stage design-space exploration — the paper's motivating
+ * scenario ("Which IPs should my SoC include and roughly how big?").
+ * Enumerates candidate SoC designs over parameter grids, evaluates a
+ * set of must-run usecases (the paper stresses the average is
+ * immaterial: every usecase must run acceptably, so the score is the
+ * MINIMUM attainable performance across usecases), attaches a simple
+ * cost model, and extracts the Pareto frontier.
+ */
+
+#ifndef GABLES_ANALYSIS_EXPLORER_H
+#define GABLES_ANALYSIS_EXPLORER_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/gables.h"
+
+namespace gables {
+
+/**
+ * Linear cost model for a candidate SoC: silicon-area-like cost for
+ * compute and wire/PHY-like cost for bandwidth.
+ */
+struct CostModel {
+    /** Cost per unit of total acceleration sum(Ai). */
+    double costPerAcceleration = 1.0;
+    /** Cost per byte/s of off-chip bandwidth Bpeak. */
+    double costPerBpeak = 0.0;
+    /** Cost per byte/s of summed IP link bandwidth sum(Bi). */
+    double costPerIpBandwidth = 0.0;
+
+    /** Evaluate the cost of a design. */
+    double cost(const SocSpec &soc) const;
+};
+
+/** One evaluated candidate design. */
+struct Candidate {
+    /** The design. */
+    SocSpec soc;
+    /** Minimum attainable performance across the usecase set. */
+    double minPerf = 0.0;
+    /** Per-usecase attainable performance, usecase order preserved. */
+    std::vector<double> perUsecase;
+    /** Cost under the explorer's cost model. */
+    double cost = 0.0;
+    /** True if no other candidate dominates it (set by explore()). */
+    bool pareto = false;
+};
+
+/**
+ * Grid-enumeration design-space explorer.
+ */
+class DesignExplorer
+{
+  public:
+    /**
+     * @param base      Template design; enumerated knobs override it.
+     * @param usecases  Must-run usecases (all evaluated per design).
+     * @param cost      Cost model.
+     */
+    DesignExplorer(SocSpec base, std::vector<Usecase> usecases,
+                   CostModel cost);
+
+    /** Enumerate Bpeak over these values (bytes/s). */
+    void sweepBpeak(std::vector<double> values);
+
+    /** Enumerate IP @p ip's acceleration over these values. */
+    void sweepAcceleration(size_t ip, std::vector<double> values);
+
+    /** Enumerate IP @p ip's link bandwidth over these values. */
+    void sweepIpBandwidth(size_t ip, std::vector<double> values);
+
+    /**
+     * Evaluate the full cross product of all registered sweeps and
+     * mark the Pareto-optimal (max perf, min cost) candidates.
+     *
+     * @return All candidates, Pareto members flagged, sorted by
+     *         descending minPerf.
+     */
+    std::vector<Candidate> explore() const;
+
+    /** @return Only the Pareto frontier, sorted by ascending cost. */
+    static std::vector<Candidate>
+    frontier(const std::vector<Candidate> &candidates);
+
+  private:
+    struct Knob {
+        std::function<SocSpec(const SocSpec &, double)> apply;
+        std::vector<double> values;
+    };
+
+    SocSpec base_;
+    std::vector<Usecase> usecases_;
+    CostModel cost_;
+    std::vector<Knob> knobs_;
+};
+
+} // namespace gables
+
+#endif // GABLES_ANALYSIS_EXPLORER_H

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Optimal work apportionment: given the hardware and the per-IP
+ * operational intensities, find the work fractions fi that maximize
+ * attainable performance (paper conjecture 3 turned into a solver —
+ * "it is critical to estimate the fraction of work fi at each IP").
+ *
+ * The problem is: maximize 1/t subject to
+ *   fi <= ri * t           (every IP finishes within t)
+ *   sum(fi / Ii) <= Bpeak*t (memory finishes within t)
+ *   sum(fi) = 1, fi >= 0
+ * where ri = min(Bi * Ii, Ai * Ppeak) is IP[i]'s unscaled roofline
+ * value. For fixed t the maximum placeable work is computed greedily
+ * (fill high-intensity IPs first, since they consume the least
+ * memory-bandwidth budget per op), and t is found by bisection.
+ */
+
+#ifndef GABLES_ANALYSIS_OPTIMAL_SPLIT_H
+#define GABLES_ANALYSIS_OPTIMAL_SPLIT_H
+
+#include <vector>
+
+#include "core/gables.h"
+
+namespace gables {
+
+/** Result of the optimal work-split solver. */
+struct OptimalSplit {
+    /** Optimal fractions, index-aligned with the SoC's IPs. */
+    std::vector<double> fractions;
+    /** Attainable performance at the optimum (ops/s). */
+    double attainable = 0.0;
+    /** The usecase built from the optimal fractions. */
+    Usecase usecase;
+};
+
+/**
+ * Solver for the optimal concurrent work split.
+ */
+class OptimalSplitSolver
+{
+  public:
+    /**
+     * @param soc         Hardware description.
+     * @param intensities Per-IP operational intensity of the work if
+     *                    assigned there (ops/byte, > 0 or +inf).
+     */
+    OptimalSplitSolver(const SocSpec &soc,
+                       std::vector<double> intensities);
+
+    /**
+     * Solve for the performance-maximizing fractions.
+     *
+     * The returned attainable performance equals
+     * GablesModel::evaluate on the returned usecase (verified by
+     * tests), and no other fraction vector can beat it.
+     */
+    OptimalSplit solve() const;
+
+    /**
+     * The maximum total work placeable within deadline @p t
+     * (exposed for tests).
+     */
+    double placeableWork(double t) const;
+
+  private:
+    const SocSpec &soc_;
+    std::vector<double> intensities_;
+};
+
+} // namespace gables
+
+#endif // GABLES_ANALYSIS_OPTIMAL_SPLIT_H

@@ -1,0 +1,147 @@
+#include "analysis/provisioner.h"
+
+#include <cmath>
+#include <functional>
+
+#include "util/logging.h"
+
+namespace gables {
+
+bool
+Provisioner::meetsAll(const SocSpec &soc,
+                      const std::vector<Requirement> &requirements)
+{
+    for (const Requirement &req : requirements) {
+        if (GablesModel::evaluate(soc, req.usecase).attainable <
+            req.minPerf * (1.0 - 1e-12))
+            return false;
+    }
+    return true;
+}
+
+namespace {
+
+/**
+ * The smallest scale in (0, 1] of a monotone knob that still meets
+ * every requirement, by bisection in log space.
+ */
+double
+minimalScale(const std::function<bool(double)> &ok, double tolerance)
+{
+    GABLES_ASSERT(ok(1.0), "knob must start feasible");
+    double lo = 1e-6;
+    if (ok(lo))
+        return lo;
+    double hi = 1.0;
+    while (hi / lo > 1.0 + tolerance) {
+        double mid = std::sqrt(lo * hi);
+        if (ok(mid))
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return hi;
+}
+
+} // namespace
+
+ProvisionedDesign
+Provisioner::minimize(const SocSpec &start,
+                      const std::vector<Requirement> &requirements,
+                      const Options &options)
+{
+    if (requirements.empty())
+        fatal("provisioner needs at least one requirement");
+    for (const Requirement &req : requirements) {
+        if (!(req.minPerf > 0.0))
+            fatal("requirement '" + req.usecase.name() +
+                  "' needs a positive target");
+        if (req.usecase.numIps() != start.numIps())
+            fatal("requirement '" + req.usecase.name() +
+                  "' does not match the design's IP count");
+    }
+    if (!(options.tolerance > 0.0 && options.tolerance < 1.0))
+        fatal("provisioner tolerance must be in (0, 1)");
+
+    ProvisionedDesign result(start);
+    if (!meetsAll(start, requirements)) {
+        // Infeasible starting point: report and echo the input.
+        result.feasible = false;
+        for (const Requirement &req : requirements)
+            result.achieved.push_back(
+                GablesModel::evaluate(start, req.usecase).attainable);
+        return result;
+    }
+    result.feasible = true;
+
+    SocSpec current = start;
+    for (int iter = 0; iter < options.maxIterations; ++iter) {
+        SocSpec before = current;
+
+        // Shrink Bpeak.
+        {
+            double base = current.bpeak();
+            double scale = minimalScale(
+                [&](double s) {
+                    return meetsAll(current.withBpeak(base * s),
+                                    requirements);
+                },
+                options.tolerance);
+            current = current.withBpeak(base * scale);
+        }
+        // Shrink each link.
+        for (size_t i = 0; i < current.numIps(); ++i) {
+            double base = current.ip(i).bandwidth;
+            double scale = minimalScale(
+                [&](double s) {
+                    return meetsAll(
+                        current.withIpBandwidth(i, base * s),
+                        requirements);
+                },
+                options.tolerance);
+            current = current.withIpBandwidth(i, base * scale);
+        }
+        // Shrink each acceleration (A0 is pinned to 1 by the model).
+        for (size_t i = 1; i < current.numIps(); ++i) {
+            double base = current.ip(i).acceleration;
+            double floor_scale = options.minAcceleration / base;
+            double scale = minimalScale(
+                [&](double s) {
+                    if (s < floor_scale)
+                        return false;
+                    return meetsAll(
+                        current.withIpAcceleration(i, base * s),
+                        requirements);
+                },
+                options.tolerance);
+            current = current.withIpAcceleration(i, base * scale);
+        }
+
+        result.iterations = iter + 1;
+        // Fixpoint: no knob moved by more than the tolerance.
+        bool converged =
+            std::fabs(current.bpeak() / before.bpeak() - 1.0) <
+            options.tolerance;
+        for (size_t i = 0; converged && i < current.numIps(); ++i) {
+            converged =
+                std::fabs(current.ip(i).bandwidth /
+                              before.ip(i).bandwidth -
+                          1.0) < options.tolerance &&
+                std::fabs(current.ip(i).acceleration /
+                              before.ip(i).acceleration -
+                          1.0) < options.tolerance;
+        }
+        if (converged)
+            break;
+    }
+
+    result.soc = current;
+    for (const Requirement &req : requirements)
+        result.achieved.push_back(
+            GablesModel::evaluate(current, req.usecase).attainable);
+    GABLES_ASSERT(meetsAll(current, requirements),
+                  "provisioner produced an infeasible design");
+    return result;
+}
+
+} // namespace gables

@@ -1,0 +1,93 @@
+#include "analysis/robustness.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace gables {
+
+RobustnessReport
+Robustness::analyze(const SocSpec &soc, const Usecase &usecase,
+                    const Options &options)
+{
+    if (options.samples < 1)
+        fatal("robustness analysis needs at least one sample");
+    if (!(options.intensityJitter >= 1.0) ||
+        !(options.fractionJitter >= 1.0))
+        fatal("jitter factors must be >= 1");
+
+    RobustnessReport report;
+    report.samples = options.samples;
+    report.nominal = GablesModel::evaluate(soc, usecase).attainable;
+
+    Rng rng(options.seed);
+    std::vector<double> perf;
+    perf.reserve(options.samples);
+    std::map<int, int> bottleneck_counts;
+    int meets = 0;
+
+    for (int s = 0; s < options.samples; ++s) {
+        std::vector<IpWork> work(usecase.numIps());
+        double sum = 0.0;
+        for (size_t i = 0; i < usecase.numIps(); ++i) {
+            const IpWork &w = usecase.at(i);
+            if (w.fraction == 0.0) {
+                work[i] = IpWork{0.0, 1.0};
+                continue;
+            }
+            double f_scale =
+                options.fractionJitter == 1.0
+                    ? 1.0
+                    : rng.logUniform(1.0 / options.fractionJitter,
+                                     options.fractionJitter);
+            double i_scale =
+                options.intensityJitter == 1.0
+                    ? 1.0
+                    : rng.logUniform(1.0 / options.intensityJitter,
+                                     options.intensityJitter);
+            double intensity = std::isinf(w.intensity)
+                                   ? w.intensity
+                                   : w.intensity * i_scale;
+            work[i] = IpWork{w.fraction * f_scale, intensity};
+            sum += work[i].fraction;
+        }
+        GABLES_ASSERT(sum > 0.0, "perturbation removed all work");
+        for (IpWork &w : work)
+            w.fraction /= sum;
+
+        Usecase sample("mc", std::move(work));
+        GablesResult r = GablesModel::evaluate(soc, sample);
+        perf.push_back(r.attainable);
+        bottleneck_counts[r.bottleneckIp]++;
+        if (options.target > 0.0 && r.attainable >= options.target)
+            ++meets;
+    }
+
+    std::sort(perf.begin(), perf.end());
+    auto quantile = [&](double q) {
+        double pos = q * (perf.size() - 1);
+        size_t lo = static_cast<size_t>(pos);
+        size_t hi = std::min(lo + 1, perf.size() - 1);
+        double t = pos - static_cast<double>(lo);
+        return perf[lo] * (1.0 - t) + perf[hi] * t;
+    };
+    double total = 0.0;
+    for (double p : perf)
+        total += p;
+    report.mean = total / perf.size();
+    report.p5 = quantile(0.05);
+    report.p50 = quantile(0.50);
+    report.p95 = quantile(0.95);
+    report.meetsTargetProbability =
+        options.target > 0.0
+            ? static_cast<double>(meets) / options.samples
+            : 1.0;
+    for (const auto &[ip, count] : bottleneck_counts)
+        report.bottleneckShare[ip] =
+            static_cast<double>(count) / options.samples;
+    return report;
+}
+
+} // namespace gables

@@ -1,0 +1,93 @@
+#include "analysis/sensitivity.h"
+
+#include <cmath>
+#include <functional>
+
+#include "util/logging.h"
+
+namespace gables {
+
+double
+Sensitivity::elasticity(double value,
+                        const std::function<double(double)> &perf_at,
+                        double rel_step)
+{
+    GABLES_ASSERT(value > 0.0, "elasticity needs a positive parameter");
+    GABLES_ASSERT(rel_step > 0.0 && rel_step < 1.0, "bad probe step");
+    double up = value * (1.0 + rel_step);
+    double down = value / (1.0 + rel_step);
+    double perf_up = perf_at(up);
+    double perf_down = perf_at(down);
+    GABLES_ASSERT(perf_up > 0.0 && perf_down > 0.0,
+                  "performance must stay positive during probing");
+    return (std::log(perf_up) - std::log(perf_down)) /
+           (std::log(up) - std::log(down));
+}
+
+std::vector<SensitivityEntry>
+Sensitivity::analyze(const SocSpec &soc, const Usecase &usecase,
+                     double rel_step)
+{
+    std::vector<SensitivityEntry> entries;
+
+    auto perf = [&](const SocSpec &s) {
+        return GablesModel::evaluate(s, usecase).attainable;
+    };
+
+    entries.push_back(
+        {"Ppeak", elasticity(
+                      soc.ppeak(),
+                      [&](double v) {
+                          SocSpec s(soc.name(), v, soc.bpeak(), soc.ips());
+                          return perf(s);
+                      },
+                      rel_step)});
+
+    entries.push_back(
+        {"Bpeak", elasticity(
+                      soc.bpeak(),
+                      [&](double v) { return perf(soc.withBpeak(v)); },
+                      rel_step)});
+
+    for (size_t i = 1; i < soc.numIps(); ++i) {
+        entries.push_back(
+            {"A[" + std::to_string(i) + "]",
+             elasticity(
+                 soc.ip(i).acceleration,
+                 [&](double v) {
+                     return perf(soc.withIpAcceleration(i, v));
+                 },
+                 rel_step)});
+    }
+
+    for (size_t i = 0; i < soc.numIps(); ++i) {
+        entries.push_back(
+            {"B[" + std::to_string(i) + "]",
+             elasticity(
+                 soc.ip(i).bandwidth,
+                 [&](double v) {
+                     return perf(soc.withIpBandwidth(i, v));
+                 },
+                 rel_step)});
+    }
+
+    for (size_t i = 0; i < usecase.numIps(); ++i) {
+        const IpWork &w = usecase.at(i);
+        if (w.fraction == 0.0 || std::isinf(w.intensity))
+            continue;
+        entries.push_back(
+            {"I[" + std::to_string(i) + "]",
+             elasticity(
+                 w.intensity,
+                 [&](double v) {
+                     Usecase modified =
+                         usecase.withWork(i, IpWork{w.fraction, v});
+                     return GablesModel::evaluate(soc, modified)
+                         .attainable;
+                 },
+                 rel_step)});
+    }
+    return entries;
+}
+
+} // namespace gables

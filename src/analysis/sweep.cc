@@ -1,0 +1,116 @@
+#include "analysis/sweep.h"
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace gables {
+
+Series
+Sweep::mixing(const SocSpec &soc, double i0, double i1,
+              const std::vector<double> &fractions, bool normalize)
+{
+    if (soc.numIps() < 2)
+        fatal("mixing sweep needs a SoC with at least two IPs");
+
+    auto usecase_for = [&](double f) {
+        std::vector<IpWork> work(soc.numIps());
+        work[0] = IpWork{1.0 - f, i0};
+        work[1] = IpWork{f, i1};
+        for (size_t i = 2; i < work.size(); ++i)
+            work[i] = IpWork{0.0, 1.0};
+        return Usecase("mixing", std::move(work));
+    };
+
+    double base = 1.0;
+    if (normalize)
+        base = GablesModel::evaluate(soc, usecase_for(0.0)).attainable;
+
+    Series series;
+    series.label = "I0=" + formatDouble(i0) + " I1=" + formatDouble(i1);
+    for (double f : fractions) {
+        if (!(f >= 0.0 && f <= 1.0))
+            fatal("mixing fraction must be in [0, 1]");
+        double perf =
+            GablesModel::evaluate(soc, usecase_for(f)).attainable;
+        series.x.push_back(f);
+        series.y.push_back(perf / base);
+    }
+    return series;
+}
+
+Series
+Sweep::bpeak(const SocSpec &soc, const Usecase &usecase,
+             const std::vector<double> &values)
+{
+    Series series;
+    series.label = "Bpeak sweep";
+    for (double b : values) {
+        series.x.push_back(b);
+        series.y.push_back(
+            GablesModel::evaluate(soc.withBpeak(b), usecase).attainable);
+    }
+    return series;
+}
+
+Series
+Sweep::intensity(const SocSpec &soc, const Usecase &usecase, size_t ip,
+                 const std::vector<double> &values)
+{
+    Series series;
+    series.label = "I[" + std::to_string(ip) + "] sweep";
+    for (double i : values) {
+        Usecase modified = usecase.withWork(
+            ip, IpWork{usecase.fraction(ip), i});
+        series.x.push_back(i);
+        series.y.push_back(
+            GablesModel::evaluate(soc, modified).attainable);
+    }
+    return series;
+}
+
+Series
+Sweep::acceleration(const SocSpec &soc, const Usecase &usecase, size_t ip,
+                    const std::vector<double> &values)
+{
+    if (ip == 0)
+        fatal("cannot sweep A0: the paper fixes A0 = 1");
+    Series series;
+    series.label = "A[" + std::to_string(ip) + "] sweep";
+    for (double a : values) {
+        series.x.push_back(a);
+        series.y.push_back(
+            GablesModel::evaluate(soc.withIpAcceleration(ip, a), usecase)
+                .attainable);
+    }
+    return series;
+}
+
+Series
+Sweep::ipBandwidth(const SocSpec &soc, const Usecase &usecase, size_t ip,
+                   const std::vector<double> &values)
+{
+    Series series;
+    series.label = "B[" + std::to_string(ip) + "] sweep";
+    for (double b : values) {
+        series.x.push_back(b);
+        series.y.push_back(
+            GablesModel::evaluate(soc.withIpBandwidth(ip, b), usecase)
+                .attainable);
+    }
+    return series;
+}
+
+Series
+Sweep::custom(const std::string &label, const std::vector<double> &xs,
+              const std::function<double(double)> &evaluate)
+{
+    Series series;
+    series.label = label;
+    for (double x : xs) {
+        series.x.push_back(x);
+        series.y.push_back(evaluate(x));
+    }
+    return series;
+}
+
+} // namespace gables

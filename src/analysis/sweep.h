@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Parameter sweeps over the Gables model — the workhorse behind the
+ * paper's Figure 6 progression and Figure 8 mixing curves, and the
+ * data source for all line plots.
+ */
+
+#ifndef GABLES_ANALYSIS_SWEEP_H
+#define GABLES_ANALYSIS_SWEEP_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/gables.h"
+
+namespace gables {
+
+/** A named (x, y) series, the unit of plotting and CSV output. */
+struct Series {
+    /** Display label, e.g. "I = 64". */
+    std::string label;
+    /** Abscissae. */
+    std::vector<double> x;
+    /** Ordinates, index-aligned with x. */
+    std::vector<double> y;
+};
+
+/**
+ * Sweep drivers producing Series from the model.
+ */
+class Sweep
+{
+  public:
+    /**
+     * Two-IP mixing sweep (paper Figure 8): vary the fraction f of
+     * work at IP[1] over @p fractions, holding intensities fixed,
+     * and report performance normalized to the f = 0 point.
+     *
+     * @param soc        A SoC with at least two IPs; work moves
+     *                   between IP[0] and IP[1].
+     * @param i0         Operational intensity at IP[0].
+     * @param i1         Operational intensity at IP[1].
+     * @param fractions  Values of f in [0, 1].
+     * @param normalize  If true (paper's Figure 8), divide by the
+     *                   performance at f = 0 with intensity i0.
+     */
+    static Series mixing(const SocSpec &soc, double i0, double i1,
+                         const std::vector<double> &fractions,
+                         bool normalize = true);
+
+    /**
+     * Sweep off-chip bandwidth Bpeak over @p values for a fixed
+     * usecase, reporting attainable performance (the Figure 6b->6c
+     * question: "is more DRAM bandwidth the fix?").
+     */
+    static Series bpeak(const SocSpec &soc, const Usecase &usecase,
+                        const std::vector<double> &values);
+
+    /**
+     * Sweep IP @p ip's operational intensity over @p values, holding
+     * everything else fixed (the Figure 6c->6d question: "what does
+     * data reuse buy?").
+     */
+    static Series intensity(const SocSpec &soc, const Usecase &usecase,
+                            size_t ip, const std::vector<double> &values);
+
+    /**
+     * Sweep IP @p ip's acceleration Ai over @p values (the
+     * over-design question of paper conjecture 3).
+     */
+    static Series acceleration(const SocSpec &soc, const Usecase &usecase,
+                               size_t ip,
+                               const std::vector<double> &values);
+
+    /**
+     * Sweep IP @p ip's link bandwidth Bi over @p values.
+     */
+    static Series ipBandwidth(const SocSpec &soc, const Usecase &usecase,
+                              size_t ip,
+                              const std::vector<double> &values);
+
+    /**
+     * Generic sweep: apply @p make to each x to get a (SoC, usecase)
+     * pair and record attainable performance.
+     */
+    static Series
+    custom(const std::string &label, const std::vector<double> &xs,
+           const std::function<double(double)> &evaluate);
+};
+
+} // namespace gables
+
+#endif // GABLES_ANALYSIS_SWEEP_H

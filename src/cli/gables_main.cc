@@ -1,0 +1,627 @@
+/**
+ * @file
+ * The `gables` command-line tool: evaluate SoC/usecase pairs, run
+ * sweeps, analyze catalog usecases, derive empirical rooflines on
+ * the simulated Snapdragons, and emit SVG/ASCII plots — an offline
+ * stand-in for the paper's interactive visualizer and Android app.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "analysis/advisor.h"
+#include "analysis/balance.h"
+#include "analysis/explorer.h"
+#include "analysis/provisioner.h"
+#include "analysis/robustness.h"
+#include "analysis/sweep.h"
+#include "core/gables.h"
+#include "core/serialize.h"
+#include "ert/ert.h"
+#include "ert/fitter.h"
+#include "plot/roofline_plot.h"
+#include "plot/series_plot.h"
+#include "plot/viz_export.h"
+#include "soc/catalog.h"
+#include "soc/config.h"
+#include "soc/pipeline.h"
+#include "soc/usecases.h"
+#include "util/arg_parser.h"
+#include "util/logging.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace gables;
+
+/** Resolve a --soc option value to a catalog spec. */
+SocSpec
+resolveSoc(const std::string &name)
+{
+    if (name == "sd835" || name.empty())
+        return SocCatalog::snapdragon835();
+    if (name == "sd835-full")
+        return SocCatalog::snapdragon835Full();
+    if (name == "sd821")
+        return SocCatalog::snapdragon821();
+    if (name == "paper")
+        return SocCatalog::paperTwoIp();
+    if (name == "paper-balanced")
+        return SocCatalog::paperTwoIpBalanced();
+    fatal("unknown SoC '" + name +
+          "' (try sd835, sd835-full, sd821, paper, paper-balanced)");
+}
+
+int
+cmdEval(int argc, const char *const *argv)
+{
+    ArgParser args("gables eval",
+                   "evaluate a usecase on a SoC and report the bound");
+    args.addOption("soc", "catalog SoC name", "paper");
+    args.addOption("file", "config file with the SoC and usecases");
+    args.addOption("usecase", "usecase name from the file");
+    args.addOption("f", "fraction of work at IP[1]", "0.75");
+    args.addOption("i0", "operational intensity at IP[0]", "8");
+    args.addOption("i1", "operational intensity at IP[1]", "8");
+    args.addFlag("json", "emit the result as JSON");
+    args.addOption("svg", "write a scaled-roofline SVG to this path");
+    args.addOption("viz-json",
+                   "write the visualization JSON to this path");
+    args.addFlag("ascii", "print an ASCII scaled-roofline plot");
+    if (!args.parse(argc, argv, std::cerr))
+        return 1;
+
+    SocSpec soc = resolveSoc("paper");
+    Usecase usecase("cli", {IpWork{1.0, 1.0}});
+    if (args.has("file")) {
+        SocConfig cfg = loadSocConfig(args.getString("file"));
+        soc = cfg.soc;
+        if (cfg.usecases.empty())
+            fatal("config file declares no usecases");
+        usecase = args.has("usecase")
+                      ? cfg.usecase(args.getString("usecase"))
+                      : cfg.usecases.front();
+    } else {
+        soc = resolveSoc(args.getString("soc", "paper"));
+        double f = args.getDouble("f", 0.75);
+        std::vector<IpWork> work(soc.numIps(), IpWork{0.0, 1.0});
+        work[0] = IpWork{1.0 - f, args.getDouble("i0", 8.0)};
+        if (soc.numIps() > 1)
+            work[1] = IpWork{f, args.getDouble("i1", 8.0)};
+        usecase = Usecase("cli", work);
+    }
+
+    GablesResult result = GablesModel::evaluate(soc, usecase);
+    if (args.has("json")) {
+        writeJson(std::cout, soc, usecase, result);
+    } else {
+        std::cout << "SoC:        " << soc.name() << '\n'
+                  << "Pattainable: "
+                  << formatOpsRate(result.attainable) << '\n'
+                  << "bottleneck:  " << result.bottleneckLabel(soc)
+                  << '\n';
+        TextTable t({"IP", "f", "I", "C_i (s)", "D_i (B)", "T_i (s)",
+                     "1/T_i"});
+        for (size_t i = 0; i < soc.numIps(); ++i) {
+            const IpTiming &ti = result.ips[i];
+            t.addRow({soc.ip(i).name,
+                      formatDouble(usecase.fraction(i), 4),
+                      formatDouble(usecase.intensity(i), 4),
+                      formatDouble(ti.computeTime * 1e9, 4) + "n",
+                      formatDouble(ti.dataBytes, 4),
+                      formatDouble(ti.time * 1e9, 4) + "n",
+                      formatOpsRate(ti.perfBound)});
+        }
+        t.addRow({"memory", "-",
+                  formatDouble(result.averageIntensity, 4), "-",
+                  formatDouble(result.totalDataBytes, 4),
+                  formatDouble(result.memoryTime * 1e9, 4) + "n",
+                  formatOpsRate(result.memoryPerfBound)});
+        std::cout << t.render();
+    }
+
+    if (args.has("svg") || args.has("ascii")) {
+        RooflinePlot plot("Gables: " + soc.name(), 0.01, 100.0);
+        plot.addGables(soc, usecase);
+        if (args.has("svg")) {
+            std::string path = args.getString("svg");
+            std::ofstream out(path);
+            if (!out)
+                fatal("cannot open '" + path + "'");
+            out << plot.renderSvg();
+            std::cout << "wrote " << path << '\n';
+        }
+        if (args.has("ascii"))
+            std::cout << plot.renderAscii();
+    }
+    if (args.has("viz-json")) {
+        std::string path = args.getString("viz-json");
+        std::ofstream out(path);
+        if (!out)
+            fatal("cannot open '" + path + "'");
+        writeVisualizationJson(out, soc, usecase);
+        std::cout << "wrote " << path << '\n';
+    }
+    return 0;
+}
+
+int
+cmdSweep(int argc, const char *const *argv)
+{
+    ArgParser args("gables sweep",
+                   "mixing sweep: performance vs fraction at IP[1]");
+    args.addOption("soc", "catalog SoC name", "sd835");
+    args.addOption("i0", "intensity at IP[0]", "1");
+    args.addOption("i1", "intensity at IP[1]", "1");
+    args.addOption("points", "number of f points", "9");
+    args.addFlag("ascii", "plot the sweep as ASCII");
+    if (!args.parse(argc, argv, std::cerr))
+        return 1;
+
+    SocSpec soc = resolveSoc(args.getString("soc", "sd835"));
+    long n = args.getInt("points", 9);
+    std::vector<double> fractions;
+    for (long i = 0; i < n; ++i)
+        fractions.push_back(static_cast<double>(i) / (n - 1));
+    Series series = Sweep::mixing(soc, args.getDouble("i0", 1.0),
+                                  args.getDouble("i1", 1.0), fractions);
+
+    TextTable t({"f", "normalized perf"});
+    for (size_t i = 0; i < series.x.size(); ++i)
+        t.addRow({formatDouble(series.x[i], 4),
+                  formatDouble(series.y[i], 4)});
+    std::cout << t.render();
+
+    if (args.has("ascii")) {
+        SeriesPlot plot("mixing sweep on " + soc.name(),
+                        "fraction f at IP[1]", "normalized perf");
+        plot.addSeries(series);
+        std::cout << plot.renderAscii();
+    }
+    return 0;
+}
+
+int
+cmdUsecases(int argc, const char *const *argv)
+{
+    ArgParser args("gables usecases",
+                   "analyze the catalog usecases on a SoC");
+    args.addOption("soc", "catalog SoC name", "sd835-full");
+    if (!args.parse(argc, argv, std::cerr))
+        return 1;
+
+    SocSpec soc = resolveSoc(args.getString("soc", "sd835-full"));
+    TextTable t({"usecase", "target fps", "max fps", "bottleneck",
+                 "DRAM MB/frame"});
+    for (const UsecaseEntry &entry : UsecaseCatalog::extended()) {
+        DataflowAnalysis a = entry.graph.analyze(soc);
+        std::string who =
+            a.bottleneckIp < 0
+                ? "memory"
+                : soc.ip(static_cast<size_t>(a.bottleneckIp)).name;
+        t.addRow({entry.graph.name(), formatDouble(entry.targetFps, 1),
+                  formatDouble(a.maxFps, 1), who,
+                  formatDouble(a.dramBytesPerFrame / 1e6, 1)});
+    }
+    std::cout << t.render();
+    return 0;
+}
+
+int
+cmdErt(int argc, const char *const *argv)
+{
+    ArgParser args("gables ert",
+                   "empirical roofline of a simulated Snapdragon IP");
+    args.addOption("engine", "CPU, GPU, or DSP", "CPU");
+    args.addOption("chip", "sd835 or sd821", "sd835");
+    if (!args.parse(argc, argv, std::cerr))
+        return 1;
+
+    auto soc = args.getString("chip", "sd835") == "sd821"
+                   ? SocCatalog::snapdragon821Sim()
+                   : SocCatalog::snapdragon835Sim();
+    ErtConfig config;
+    config.intensities = ErtConfig::defaultIntensities();
+    std::string engine = args.getString("engine", "CPU");
+    auto samples = ErtSweep::run(*soc, engine, config);
+    RooflineFit fit = RooflineFitter::fitDram(samples);
+
+    TextTable t({"I (ops/B)", "ops/s", "DRAM B/s"});
+    for (const ErtSample &s : samples)
+        t.addRow({formatDouble(s.opsPerByte, 4),
+                  formatOpsRate(s.opsRate),
+                  formatByteRate(s.missByteRate)});
+    std::cout << t.render() << "fit: peak "
+              << formatOpsRate(fit.peakOps) << ", DRAM "
+              << formatByteRate(fit.peakBw) << ", ridge "
+              << formatDouble(fit.ridge, 3) << " ops/B\n";
+    return 0;
+}
+
+int
+cmdAdvise(int argc, const char *const *argv)
+{
+    ArgParser args("gables advise",
+                   "rank design moves for a SoC/usecase pair");
+    args.addOption("file", "config file with the SoC and usecases");
+    args.addOption("usecase", "usecase name from the file");
+    args.addOption("soc", "catalog SoC (when no file given)", "paper");
+    args.addOption("f", "fraction of work at IP[1]", "0.75");
+    args.addOption("i0", "intensity at IP[0]", "8");
+    args.addOption("i1", "intensity at IP[1]", "0.1");
+    if (!args.parse(argc, argv, std::cerr))
+        return 1;
+
+    SocSpec soc = resolveSoc("paper");
+    Usecase usecase("cli", {IpWork{1.0, 1.0}});
+    if (args.has("file")) {
+        SocConfig cfg = loadSocConfig(args.getString("file"));
+        soc = cfg.soc;
+        if (cfg.usecases.empty())
+            fatal("config file declares no usecases");
+        usecase = args.has("usecase")
+                      ? cfg.usecase(args.getString("usecase"))
+                      : cfg.usecases.front();
+    } else {
+        soc = resolveSoc(args.getString("soc", "paper"));
+        double f = args.getDouble("f", 0.75);
+        std::vector<IpWork> work(soc.numIps(), IpWork{0.0, 1.0});
+        work[0] = IpWork{1.0 - f, args.getDouble("i0", 8.0)};
+        if (soc.numIps() > 1)
+            work[1] = IpWork{f, args.getDouble("i1", 0.1)};
+        usecase = Usecase("cli", work);
+    }
+
+    GablesResult base = GablesModel::evaluate(soc, usecase);
+    std::cout << "current: " << formatOpsRate(base.attainable)
+              << " (" << base.bottleneckLabel(soc) << ")\n\n";
+    auto advice = Advisor::advise(soc, usecase);
+    if (advice.empty()) {
+        std::cout << "no moves found: the design is balanced for "
+                     "this usecase\n";
+        return 0;
+    }
+    TextTable t({"move", "gain", "new perf"});
+    for (const Advice &a : advice) {
+        t.addRow({a.description,
+                  a.kind == AdviceKind::ShrinkSlack
+                      ? "free"
+                      : formatDouble(a.gain, 3) + "x",
+                  formatOpsRate(a.newAttainable)});
+    }
+    std::cout << t.render();
+    return 0;
+}
+
+int
+cmdRobust(int argc, const char *const *argv)
+{
+    ArgParser args("gables robust",
+                   "Monte-Carlo robustness of a usecase estimate");
+    args.addOption("soc", "catalog SoC name", "paper-balanced");
+    args.addOption("f", "fraction of work at IP[1]", "0.75");
+    args.addOption("i0", "intensity at IP[0]", "8");
+    args.addOption("i1", "intensity at IP[1]", "8");
+    args.addOption("samples", "Monte-Carlo samples", "1000");
+    args.addOption("target", "ops/s target (0 = none)", "0");
+    if (!args.parse(argc, argv, std::cerr))
+        return 1;
+
+    SocSpec soc = resolveSoc(args.getString("soc", "paper-balanced"));
+    double f = args.getDouble("f", 0.75);
+    std::vector<IpWork> work(soc.numIps(), IpWork{0.0, 1.0});
+    work[0] = IpWork{1.0 - f, args.getDouble("i0", 8.0)};
+    if (soc.numIps() > 1)
+        work[1] = IpWork{f, args.getDouble("i1", 8.0)};
+    Usecase usecase("cli", work);
+
+    Robustness::Options opts;
+    opts.samples = static_cast<int>(args.getInt("samples", 1000));
+    opts.target = args.getDouble("target", 0.0);
+    RobustnessReport r = Robustness::analyze(soc, usecase, opts);
+    std::cout << "nominal: " << formatOpsRate(r.nominal)
+              << "\nmean:    " << formatOpsRate(r.mean)
+              << "\np5/p50/p95: " << formatOpsRate(r.p5) << " / "
+              << formatOpsRate(r.p50) << " / "
+              << formatOpsRate(r.p95) << '\n';
+    if (opts.target > 0.0)
+        std::cout << "P(meets target): "
+                  << formatDouble(r.meetsTargetProbability * 100.0, 1)
+                  << "%\n";
+    std::cout << "bottleneck shares:\n";
+    for (const auto &[ip, share] : r.bottleneckShare) {
+        std::string who = ip < 0 ? "memory"
+                                 : soc.ip(static_cast<size_t>(ip)).name;
+        std::cout << "  " << who << ": "
+                  << formatDouble(share * 100.0, 1) << "%\n";
+    }
+    return 0;
+}
+
+int
+cmdPipeline(int argc, const char *const *argv)
+{
+    ArgParser args("gables pipeline",
+                   "simulate a catalog usecase dataflow frame by "
+                   "frame");
+    args.addOption("usecase", "hdr, capture, hfr, playback, lens, "
+                              "wifi",
+                   "hfr");
+    args.addOption("frames", "frames to simulate", "96");
+    args.addOption("fps", "source pacing (0 = unpaced)", "0");
+    args.addOption("trace",
+                   "write a chrome://tracing JSON to this path");
+    if (!args.parse(argc, argv, std::cerr))
+        return 1;
+
+    std::string name = args.getString("usecase", "hfr");
+    UsecaseEntry entry = UsecaseCatalog::videocaptureHfr();
+    if (name == "hdr")
+        entry = UsecaseCatalog::hdrPlus();
+    else if (name == "capture")
+        entry = UsecaseCatalog::videocapture();
+    else if (name == "hfr")
+        entry = UsecaseCatalog::videocaptureHfr();
+    else if (name == "playback")
+        entry = UsecaseCatalog::videoplaybackUi();
+    else if (name == "lens")
+        entry = UsecaseCatalog::googleLens();
+    else if (name == "wifi")
+        entry = UsecaseCatalog::wifiStreaming();
+    else
+        fatal("unknown usecase '" + name + "'");
+
+    SocSpec soc = SocCatalog::snapdragon835Full();
+    sim::PipelineSim sim(soc, entry.graph);
+    sim::TraceRecorder trace;
+    if (args.has("trace"))
+        sim.setTraceRecorder(&trace);
+    sim::PipelineStats stats =
+        sim.run(static_cast<int>(args.getInt("frames", 96)),
+                args.getDouble("fps", 0.0));
+    if (args.has("trace")) {
+        std::string path = args.getString("trace");
+        std::ofstream out(path);
+        if (!out)
+            fatal("cannot open '" + path + "'");
+        trace.writeChromeTrace(out);
+        std::cout << "wrote " << path << " ("
+                  << trace.events().size() << " events)\n";
+    }
+    DataflowAnalysis a = entry.graph.analyze(soc);
+    std::cout << entry.graph.name() << ": simulated "
+              << formatDouble(stats.steadyFps, 1)
+              << " fps (analytic bound "
+              << formatDouble(a.maxFps, 1) << ", target "
+              << formatDouble(entry.targetFps, 0) << ")\n";
+    TextTable t({"resource", "utilization"});
+    for (const sim::ResourceStats &r : stats.resources) {
+        if (r.utilization > 0.01)
+            t.addRow({r.name, formatDouble(r.utilization, 3)});
+    }
+    std::cout << t.render();
+    return 0;
+}
+
+int
+cmdExplore(int argc, const char *const *argv)
+{
+    ArgParser args("gables explore",
+                   "enumerate designs and print the Pareto frontier");
+    args.addOption("usecase", "catalog usecase scoring the designs "
+                              "(hdr, capture, hfr, playback, lens, "
+                              "wifi, gaming, call, ar)",
+                   "capture");
+    args.addOption("points", "grid points per knob", "5");
+    if (!args.parse(argc, argv, std::cerr))
+        return 1;
+
+    SocSpec base = SocCatalog::snapdragon835Full();
+    std::string name = args.getString("usecase", "capture");
+    std::vector<Usecase> portfolio;
+    for (const UsecaseEntry &entry : UsecaseCatalog::extended()) {
+        std::string n = entry.graph.name();
+        bool match =
+            (name == "hdr" && n == "HDR+") ||
+            (name == "capture" && n == "Videocapture") ||
+            (name == "hfr" && n == "Videocapture (HFR)") ||
+            (name == "playback" && n == "Videoplayback UI") ||
+            (name == "lens" && n == "Google Lens") ||
+            (name == "wifi" && n == "WiFi streaming") ||
+            (name == "gaming" && n == "3D gaming") ||
+            (name == "call" && n == "Video call") ||
+            (name == "ar" && n == "AR navigation");
+        if (match)
+            portfolio.push_back(entry.graph.toUsecase(base));
+    }
+    if (portfolio.empty())
+        fatal("unknown usecase '" + name + "'");
+
+    CostModel cost;
+    cost.costPerAcceleration = 1.0;
+    cost.costPerBpeak = 0.5e-9;
+    DesignExplorer explorer(base, portfolio, cost);
+    long points = args.getInt("points", 5);
+    std::vector<double> bpeaks;
+    for (long i = 0; i < points; ++i)
+        bpeaks.push_back(15e9 + i * 15e9);
+    explorer.sweepBpeak(bpeaks);
+    auto candidates = explorer.explore();
+    auto frontier = DesignExplorer::frontier(candidates);
+
+    std::cout << "explored " << candidates.size()
+              << " designs for '" << name << "'; frontier:\n";
+    TextTable t({"Bpeak", "perf", "cost"});
+    for (const Candidate &c : frontier) {
+        t.addRow({formatByteRate(c.soc.bpeak()),
+                  formatOpsRate(c.minPerf),
+                  formatDouble(c.cost, 1)});
+    }
+    std::cout << t.render();
+    return 0;
+}
+
+int
+cmdProvision(int argc, const char *const *argv)
+{
+    ArgParser args("gables provision",
+                   "shrink a SoC to the cheapest design meeting "
+                   "every catalog usecase target");
+    if (!args.parse(argc, argv, std::cerr))
+        return 1;
+
+    SocSpec start = SocCatalog::snapdragon835Full();
+    std::vector<Requirement> reqs;
+    for (const UsecaseEntry &entry : UsecaseCatalog::extended()) {
+        Usecase u = entry.graph.toUsecase(start);
+        double capability =
+            GablesModel::evaluate(start, u).attainable;
+        double target =
+            entry.graph.opsPerFrame() * entry.targetFps;
+        reqs.push_back(
+            Requirement{u, std::min(target, capability * 0.999)});
+    }
+    ProvisionedDesign r = Provisioner::minimize(start, reqs);
+    std::cout << (r.feasible ? "feasible" : "INFEASIBLE start")
+              << "; sufficient design:\n";
+    TextTable t({"knob", "generous", "sufficient"});
+    t.addRow({"Bpeak", formatByteRate(start.bpeak()),
+              formatByteRate(r.soc.bpeak())});
+    for (size_t i = 0; i < start.numIps(); ++i) {
+        t.addRow({start.ip(i).name + " Bi",
+                  formatByteRate(start.ip(i).bandwidth),
+                  formatByteRate(r.soc.ip(i).bandwidth)});
+    }
+    std::cout << t.render();
+    return 0;
+}
+
+int
+cmdGlossary(int argc, const char *const *argv)
+{
+    // Reproduces the paper's Table II: the Gables parameter glossary.
+    ArgParser args("gables glossary",
+                   "print the Gables parameter glossary (Table II)");
+    if (!args.parse(argc, argv, std::cerr))
+        return 1;
+    TextTable t({"Parameter", "Description"});
+    t.setAlign(1, TextTable::Align::Left);
+    t.addRow({"-- HW inputs --", ""});
+    t.addRow({"Ppeak", "Peak performance of CPUs (ops/sec)"});
+    t.addRow({"Bpeak", "Peak off-chip bandwidth (bytes/sec)"});
+    t.addRow({"Ai", "Peak acceleration of IP[i] (unitless)"});
+    t.addRow({"Bi", "Peak bandwidth to/from IP[i] (bytes/sec)"});
+    t.addRow({"-- SW inputs --", ""});
+    t.addRow({"fi", "Fraction of usecase work at IP[i] (ops)"});
+    t.addRow({"Ii",
+              "Operational intensity of usecase at IP[i] (ops/byte)"});
+    t.addRow({"-- Tmp values --", ""});
+    t.addRow({"Ci", "Compute time at IP[i] (sec)"});
+    t.addRow({"Di", "Data transferred for IP[i] (bytes)"});
+    t.addRow({"TIP[i]", "Time at IP[i] (sec)"});
+    t.addRow({"Tmemory", "Time on chip memory interface (sec)"});
+    t.addRow({"-- Output --", ""});
+    t.addRow({"Pattainable",
+              "Upper bound on SoC performance (ops/sec)"});
+    std::cout << t.render();
+    return 0;
+}
+
+int
+cmdBalance(int argc, const char *const *argv)
+{
+    ArgParser args("gables balance",
+                   "balance report and sufficient bandwidths");
+    args.addOption("soc", "catalog SoC name", "paper-balanced");
+    args.addOption("f", "fraction of work at IP[1]", "0.75");
+    args.addOption("i0", "intensity at IP[0]", "8");
+    args.addOption("i1", "intensity at IP[1]", "8");
+    if (!args.parse(argc, argv, std::cerr))
+        return 1;
+
+    SocSpec soc = resolveSoc(args.getString("soc", "paper-balanced"));
+    double f = args.getDouble("f", 0.75);
+    std::vector<IpWork> work(soc.numIps(), IpWork{0.0, 1.0});
+    work[0] = IpWork{1.0 - f, args.getDouble("i0", 8.0)};
+    if (soc.numIps() > 1)
+        work[1] = IpWork{f, args.getDouble("i1", 8.0)};
+    Usecase usecase("cli", work);
+
+    BalanceReport report = Balance::report(soc, usecase);
+    std::cout << "Pattainable: " << formatOpsRate(report.attainable)
+              << "\nmax slack:   "
+              << formatDouble(report.maxSlack * 100.0, 2) << "%\n"
+              << "sufficient Bpeak: "
+              << formatByteRate(Balance::sufficientBpeak(soc, usecase))
+              << " (configured "
+              << formatByteRate(soc.bpeak()) << ")\n";
+    return 0;
+}
+
+void
+usage(std::ostream &out)
+{
+    out << "usage: gables <command> [options]\n"
+           "commands:\n"
+           "  eval      evaluate a usecase on a SoC\n"
+           "  sweep     mixing sweep over the work fraction\n"
+           "  usecases  analyze the catalog usecases\n"
+           "  ert       empirical roofline on the simulated chip\n"
+           "  balance   balance report and sufficient bandwidths\n"
+           "  advise    rank design moves (supports --file configs)\n"
+           "  robust    Monte-Carlo robustness of an estimate\n"
+           "  pipeline  frame-pipeline simulation of a usecase\n"
+           "  explore   design-space exploration with Pareto output\n"
+           "  provision shrink-to-fit inverse design for the catalog\n"
+           "  glossary  the Gables parameter glossary (Table II)\n"
+           "run 'gables <command> --help' for per-command options\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage(std::cerr);
+        return 1;
+    }
+    std::string cmd = argv[1];
+    try {
+        if (cmd == "eval")
+            return cmdEval(argc - 1, argv + 1);
+        if (cmd == "sweep")
+            return cmdSweep(argc - 1, argv + 1);
+        if (cmd == "usecases")
+            return cmdUsecases(argc - 1, argv + 1);
+        if (cmd == "ert")
+            return cmdErt(argc - 1, argv + 1);
+        if (cmd == "balance")
+            return cmdBalance(argc - 1, argv + 1);
+        if (cmd == "advise")
+            return cmdAdvise(argc - 1, argv + 1);
+        if (cmd == "robust")
+            return cmdRobust(argc - 1, argv + 1);
+        if (cmd == "pipeline")
+            return cmdPipeline(argc - 1, argv + 1);
+        if (cmd == "explore")
+            return cmdExplore(argc - 1, argv + 1);
+        if (cmd == "provision")
+            return cmdProvision(argc - 1, argv + 1);
+        if (cmd == "glossary")
+            return cmdGlossary(argc - 1, argv + 1);
+        if (cmd == "--help" || cmd == "help") {
+            usage(std::cout);
+            return 0;
+        }
+    } catch (const gables::FatalError &err) {
+        std::cerr << "gables: " << err.what() << '\n';
+        return 1;
+    }
+    std::cerr << "gables: unknown command '" << cmd << "'\n";
+    usage(std::cerr);
+    return 1;
+}

@@ -1,0 +1,77 @@
+#include "core/amdahl.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace gables {
+
+namespace {
+
+void
+checkFraction(double f)
+{
+    if (!(f >= 0.0 && f <= 1.0))
+        fatal("Amdahl fraction must be in [0, 1]");
+}
+
+} // namespace
+
+double
+AmdahlModel::speedup(double f, double s)
+{
+    checkFraction(f);
+    if (!(s > 0.0))
+        fatal("Amdahl speedup factor must be > 0");
+    return 1.0 / ((1.0 - f) + f / s);
+}
+
+double
+AmdahlModel::limit(double f)
+{
+    checkFraction(f);
+    if (f == 1.0)
+        return std::numeric_limits<double>::infinity();
+    return 1.0 / (1.0 - f);
+}
+
+double
+AmdahlModel::gustafsonSpeedup(double f, double s)
+{
+    checkFraction(f);
+    if (!(s > 0.0))
+        fatal("Gustafson speedup factor must be > 0");
+    return (1.0 - f) + f * s;
+}
+
+double
+AmdahlModel::corePerf(double r)
+{
+    if (!(r > 0.0))
+        fatal("core resources must be > 0");
+    return std::sqrt(r);
+}
+
+double
+AmdahlModel::symmetricSpeedup(double f, double n, double r)
+{
+    checkFraction(f);
+    if (!(n > 0.0) || !(r > 0.0) || r > n)
+        fatal("symmetric speedup requires 0 < r <= n");
+    double perf = corePerf(r);
+    double cores = n / r;
+    return 1.0 / ((1.0 - f) / perf + f / (perf * cores));
+}
+
+double
+AmdahlModel::asymmetricSpeedup(double f, double n, double r)
+{
+    checkFraction(f);
+    if (!(n > 0.0) || !(r > 0.0) || r > n)
+        fatal("asymmetric speedup requires 0 < r <= n");
+    double perf = corePerf(r);
+    return 1.0 / ((1.0 - f) / perf + f / (perf + (n - r)));
+}
+
+} // namespace gables

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Amdahl's Law (1967) baseline: speedup of a computation when a
+ * fraction of it is accelerated, plus the multicore-era variants of
+ * Hill & Marty (2008) used as comparison points in the paper's
+ * related-work discussion. Unlike Gables these ignore data movement
+ * entirely, which is exactly the gap Gables closes.
+ */
+
+#ifndef GABLES_CORE_AMDAHL_H
+#define GABLES_CORE_AMDAHL_H
+
+#include <cstddef>
+
+namespace gables {
+
+/**
+ * Classic and multicore Amdahl's-Law bounds.
+ */
+class AmdahlModel
+{
+  public:
+    /**
+     * Classic Amdahl speedup: 1 / ((1-f) + f/s).
+     *
+     * @param f Fraction of work that is sped up, in [0, 1].
+     * @param s Speedup of that fraction, > 0.
+     */
+    static double speedup(double f, double s);
+
+    /**
+     * The asymptotic speedup limit as s -> infinity: 1 / (1-f);
+     * +infinity when f == 1.
+     */
+    static double limit(double f);
+
+    /**
+     * Gustafson's scaled speedup (1988): s + (1-f')*(1-s) with f'
+     * the parallel fraction measured on the parallel system —
+     * expressed here as (1-f) + f*s.
+     */
+    static double gustafsonSpeedup(double f, double s);
+
+    /**
+     * Hill-Marty symmetric multicore speedup: n/r cores of
+     * performance perf(r), serial fraction (1-f) runs on one
+     * r-resource core.
+     *
+     * @param f Parallel fraction in [0, 1].
+     * @param n Total base-core-equivalent resources.
+     * @param r Resources per core (divides n conceptually; real-
+     *          valued here).
+     */
+    static double symmetricSpeedup(double f, double n, double r);
+
+    /**
+     * Hill-Marty asymmetric speedup: one big r-resource core plus
+     * (n - r) base cores; serial work on the big core, parallel work
+     * on everything.
+     */
+    static double asymmetricSpeedup(double f, double n, double r);
+
+    /**
+     * Hill-Marty performance model for a core built from r base-core
+     * resources: perf(r) = sqrt(r) (Pollack's rule).
+     */
+    static double corePerf(double r);
+};
+
+} // namespace gables
+
+#endif // GABLES_CORE_AMDAHL_H

@@ -1,0 +1,105 @@
+#include "core/combined.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace gables {
+
+std::string
+CombinedResult::bottleneckLabel(const SocSpec &soc,
+                                const InterconnectModel *ic) const
+{
+    switch (bottleneck) {
+      case CombinedBottleneck::Ip: {
+        const IpSpec &ip = soc.ip(static_cast<size_t>(bottleneckIp));
+        const IpTiming &t = ips[static_cast<size_t>(bottleneckIp)];
+        return ip.name + (t.computeTime >= t.transferTime
+                              ? " compute (Ai*Ppeak)"
+                              : " link bandwidth (Bi)");
+      }
+      case CombinedBottleneck::Bus:
+        if (ic != nullptr)
+            return "bus '" +
+                   ic->buses()[static_cast<size_t>(bottleneckBus)]
+                       .name +
+                   "'";
+        return "bus " + std::to_string(bottleneckBus);
+      case CombinedBottleneck::Memory:
+        return "memory interface (Bpeak, post-SRAM)";
+    }
+    return "unknown";
+}
+
+void
+CombinedModel::setMemSide(MemSideMemory memside)
+{
+    memside_ = std::move(memside);
+}
+
+void
+CombinedModel::setInterconnect(InterconnectModel interconnect)
+{
+    interconnect_ = std::move(interconnect);
+}
+
+CombinedResult
+CombinedModel::evaluate(const SocSpec &soc, const Usecase &usecase) const
+{
+    GablesResult base = GablesModel::evaluate(soc, usecase);
+
+    CombinedResult result;
+    result.ips = base.ips;
+
+    // Memory interface sees filtered traffic (Eq. 15); buses see the
+    // full Di (the SRAM is on the memory side of the interconnect).
+    if (memside_ && memside_->missRatios().size() != soc.numIps())
+        fatal("combined model: memside/SoC IP count mismatch");
+    double filtered = 0.0;
+    for (size_t i = 0; i < base.ips.size(); ++i) {
+        double m = memside_ ? memside_->missRatio(i) : 1.0;
+        filtered += m * base.ips[i].dataBytes;
+    }
+    result.filteredBytes = filtered;
+    result.memoryTime = filtered / soc.bpeak();
+
+    // Bus terms (Eq. 16) over unfiltered traffic.
+    if (interconnect_) {
+        result.busTimes.assign(interconnect_->numBuses(), 0.0);
+        for (size_t j = 0; j < interconnect_->numBuses(); ++j) {
+            double bytes = 0.0;
+            for (size_t i = 0; i < soc.numIps(); ++i) {
+                if (interconnect_->uses(i, j))
+                    bytes += base.ips[i].dataBytes;
+            }
+            result.busTimes[j] =
+                bytes / interconnect_->buses()[j].bandwidth;
+        }
+    }
+
+    // Bottleneck analysis over all terms.
+    double max_time = result.memoryTime;
+    result.bottleneck = CombinedBottleneck::Memory;
+    for (size_t i = 0; i < result.ips.size(); ++i) {
+        if (result.ips[i].time > max_time) {
+            max_time = result.ips[i].time;
+            result.bottleneck = CombinedBottleneck::Ip;
+            result.bottleneckIp = static_cast<int>(i);
+            result.bottleneckBus = -1;
+        }
+    }
+    for (size_t j = 0; j < result.busTimes.size(); ++j) {
+        if (result.busTimes[j] > max_time) {
+            max_time = result.busTimes[j];
+            result.bottleneck = CombinedBottleneck::Bus;
+            result.bottleneckBus = static_cast<int>(j);
+            result.bottleneckIp = -1;
+        }
+    }
+    GABLES_ASSERT(max_time > 0.0, "combined model: zero total time");
+    result.attainable = 1.0 / max_time;
+    return result;
+}
+
+} // namespace gables

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * A combined evaluator for the paper's extensions applied together,
+ * honouring their topological interplay (Figures 10 and 11): the
+ * memory-side SRAM sits between the interconnect and DRAM, so the
+ * buses carry each IP's full traffic Di while the off-chip interface
+ * carries only the filtered D'i = mi * Di. The result is one
+ * bottleneck analysis over IPs, buses, and the (filtered) memory
+ * interface.
+ */
+
+#ifndef GABLES_CORE_COMBINED_H
+#define GABLES_CORE_COMBINED_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/gables.h"
+#include "core/interconnect.h"
+#include "core/memside.h"
+
+namespace gables {
+
+/** Which resource class binds a combined evaluation. */
+enum class CombinedBottleneck {
+    /** An IP's compute or link (see the base result for which). */
+    Ip,
+    /** One of the interconnect buses. */
+    Bus,
+    /** The off-chip memory interface (post-SRAM traffic). */
+    Memory,
+};
+
+/** Result of a combined evaluation. */
+struct CombinedResult {
+    /** Upper bound on SoC performance (ops/s). */
+    double attainable = 0.0;
+    /** The base per-IP timing detail (Di, Ci, TIP). */
+    std::vector<IpTiming> ips;
+    /** Per-bus times (empty if no interconnect configured). */
+    std::vector<double> busTimes;
+    /** Time at the memory interface with filtered traffic. */
+    double memoryTime = 0.0;
+    /** Off-chip bytes per unit op after SRAM filtering. */
+    double filteredBytes = 0.0;
+    /** What binds. */
+    CombinedBottleneck bottleneck = CombinedBottleneck::Memory;
+    /** Binding IP index (bottleneck == Ip), else -1. */
+    int bottleneckIp = -1;
+    /** Binding bus index (bottleneck == Bus), else -1. */
+    int bottleneckBus = -1;
+
+    /** @return A display label for the bottleneck. */
+    std::string bottleneckLabel(const SocSpec &soc,
+                                const InterconnectModel *ic) const;
+};
+
+/**
+ * The combined model: base Gables plus any subset of {memory-side
+ * SRAM, interconnect topology}.
+ *
+ * With neither configured it reduces exactly to GablesModel; with
+ * only one it reduces to that extension (verified by tests).
+ */
+class CombinedModel
+{
+  public:
+    CombinedModel() = default;
+
+    /** Attach a memory-side SRAM (per-IP miss ratios). */
+    void setMemSide(MemSideMemory memside);
+
+    /** Attach an interconnect topology. */
+    void setInterconnect(InterconnectModel interconnect);
+
+    /** @return The attached interconnect, if any. */
+    const InterconnectModel *interconnect() const
+    {
+        return interconnect_ ? &*interconnect_ : nullptr;
+    }
+
+    /** Evaluate a usecase on a SoC under the attached extensions. */
+    CombinedResult evaluate(const SocSpec &soc,
+                            const Usecase &usecase) const;
+
+  private:
+    std::optional<MemSideMemory> memside_;
+    std::optional<InterconnectModel> interconnect_;
+};
+
+} // namespace gables
+
+#endif // GABLES_CORE_COMBINED_H

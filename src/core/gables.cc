@@ -1,0 +1,167 @@
+#include "core/gables.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace gables {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/**
+ * Check that the usecase is index-aligned with the SoC and both are
+ * internally valid.
+ */
+void
+checkPair(const SocSpec &soc, const Usecase &usecase)
+{
+    soc.validate();
+    usecase.validate();
+    if (usecase.numIps() != soc.numIps())
+        fatal("usecase '" + usecase.name() + "' has " +
+              std::to_string(usecase.numIps()) +
+              " IP entries but SoC '" + soc.name() + "' has " +
+              std::to_string(soc.numIps()) + " IPs");
+}
+
+} // namespace
+
+std::string
+toString(BottleneckKind kind)
+{
+    switch (kind) {
+      case BottleneckKind::IpCompute:
+        return "IP compute";
+      case BottleneckKind::IpBandwidth:
+        return "IP bandwidth";
+      case BottleneckKind::Memory:
+        return "memory interface";
+    }
+    return "unknown";
+}
+
+std::string
+GablesResult::bottleneckLabel(const SocSpec &soc) const
+{
+    if (bottleneckIp < 0)
+        return "memory interface (Bpeak)";
+    const IpSpec &ip = soc.ip(static_cast<size_t>(bottleneckIp));
+    std::string who = ip.name.empty()
+                          ? "IP[" + std::to_string(bottleneckIp) + "]"
+                          : ip.name;
+    return who + (bottleneck == BottleneckKind::IpCompute
+                      ? " compute (Ai*Ppeak)"
+                      : " link bandwidth (Bi)");
+}
+
+GablesResult
+GablesModel::evaluate(const SocSpec &soc, const Usecase &usecase)
+{
+    checkPair(soc, usecase);
+
+    GablesResult result;
+    const size_t n = soc.numIps();
+    result.ips.resize(n);
+
+    double max_time = 0.0;
+    double total_bytes = 0.0;
+
+    for (size_t i = 0; i < n; ++i) {
+        const IpWork &w = usecase.at(i);
+        IpTiming &t = result.ips[i];
+        if (w.fraction > 0.0) {
+            t.computeTime = w.fraction / soc.ipPeakPerf(i);
+            t.dataBytes =
+                std::isinf(w.intensity) ? 0.0 : w.fraction / w.intensity;
+            t.transferTime = t.dataBytes / soc.ip(i).bandwidth;
+            t.time = std::max(t.transferTime, t.computeTime);
+            t.perfBound = 1.0 / t.time;
+        } else {
+            // No work at this IP: it contributes no time and no
+            // traffic, and its scaled roofline is unbounded.
+            t.perfBound = kInf;
+        }
+        total_bytes += t.dataBytes;
+        max_time = std::max(max_time, t.time);
+    }
+
+    result.totalDataBytes = total_bytes;
+    result.memoryTime = total_bytes / soc.bpeak();
+    result.averageIntensity = usecase.averageIntensity();
+    result.memoryPerfBound = result.memoryTime > 0.0
+                                 ? 1.0 / result.memoryTime
+                                 : kInf;
+
+    max_time = std::max(max_time, result.memoryTime);
+    GABLES_ASSERT(max_time > 0.0,
+                  "usecase produced zero total time; Ppeak infinite?");
+    result.attainable = 1.0 / max_time;
+
+    // Bottleneck attribution: memory wins ties, then lowest IP index.
+    if (result.memoryTime >= max_time) {
+        result.bottleneckIp = -1;
+        result.bottleneck = BottleneckKind::Memory;
+    } else {
+        for (size_t i = 0; i < n; ++i) {
+            if (result.ips[i].time >= max_time) {
+                result.bottleneckIp = static_cast<int>(i);
+                result.bottleneck =
+                    result.ips[i].computeTime >= result.ips[i].transferTime
+                        ? BottleneckKind::IpCompute
+                        : BottleneckKind::IpBandwidth;
+                break;
+            }
+        }
+    }
+    return result;
+}
+
+double
+GablesModel::attainablePerfForm(const SocSpec &soc, const Usecase &usecase)
+{
+    checkPair(soc, usecase);
+
+    double bound = kInf;
+    for (size_t i = 0; i < soc.numIps(); ++i) {
+        const IpWork &w = usecase.at(i);
+        if (w.fraction == 0.0)
+            continue; // omit the term to avoid divide-by-zero
+        double roof = std::isinf(w.intensity)
+                          ? soc.ipPeakPerf(i)
+                          : std::min(soc.ip(i).bandwidth * w.intensity,
+                                     soc.ipPeakPerf(i));
+        bound = std::min(bound, roof / w.fraction);
+    }
+
+    double iavg = usecase.averageIntensity();
+    if (!std::isinf(iavg))
+        bound = std::min(bound, soc.bpeak() * iavg);
+
+    GABLES_ASSERT(std::isfinite(bound),
+                  "performance-form bound is not finite");
+    return bound;
+}
+
+double
+GablesModel::scaledIpRoofline(const SocSpec &soc, const Usecase &usecase,
+                              size_t i, double intensity)
+{
+    checkPair(soc, usecase);
+    double f = usecase.fraction(i);
+    if (f == 0.0)
+        return kInf;
+    return std::min(soc.ip(i).bandwidth * intensity, soc.ipPeakPerf(i)) /
+           f;
+}
+
+double
+GablesModel::memoryRoofline(const SocSpec &soc, double intensity)
+{
+    return soc.bpeak() * intensity;
+}
+
+} // namespace gables

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Gables extension V-B: model the on-chip interconnect as Q buses,
+ * each a slanted-only roofline with bandwidth Bbus[j]. A Use(i,j)
+ * matrix records which buses lie on IP[i]'s (single) path to memory.
+ * Each bus adds a potential bottleneck term
+ * TBus[j] = sum_i(Di * Use(i,j)) / Bbus[j] (paper Eqs. 16-17).
+ */
+
+#ifndef GABLES_CORE_INTERCONNECT_H
+#define GABLES_CORE_INTERCONNECT_H
+
+#include <string>
+#include <vector>
+
+#include "core/gables.h"
+
+namespace gables {
+
+/** One interconnection network (colloquially, a bus). */
+struct BusSpec {
+    /** Display name, e.g. "multimedia fabric". */
+    std::string name;
+    /** Bandwidth Bbus[j] (bytes/s). */
+    double bandwidth = 0.0;
+};
+
+/** Result of an interconnect-extended evaluation. */
+struct InterconnectResult {
+    /** The base result (re-attributed if a bus is the bottleneck). */
+    GablesResult base;
+    /** Per-bus times TBus[j] (s per unit op). */
+    std::vector<double> busTimes;
+    /**
+     * Index of the bottleneck bus, or -1 if an IP or the memory
+     * interface limits performance instead.
+     */
+    int bottleneckBus = -1;
+};
+
+/**
+ * Bus topology for the interconnect extension.
+ */
+class InterconnectModel
+{
+  public:
+    /**
+     * @param buses Bus descriptors.
+     * @param use   use[i][j] is true when IP[i]'s path to memory
+     *              traverses Bus[j]; dimensions N x Q.
+     */
+    InterconnectModel(std::vector<BusSpec> buses,
+                      std::vector<std::vector<bool>> use);
+
+    /**
+     * Build the common hierarchical topology of Figure 3: a set of
+     * leaf fabrics, each serving a contiguous group of IPs, all
+     * funneling into one system fabric that connects to the memory
+     * controller.
+     *
+     * @param leaf_names  One name per leaf fabric.
+     * @param leaf_bw     One bandwidth per leaf fabric (bytes/s).
+     * @param ip_to_leaf  For each IP, the index of its leaf fabric.
+     * @param system_bw   Bandwidth of the shared system fabric; pass
+     *                    0 to omit the system fabric level.
+     */
+    static InterconnectModel hierarchy(
+        const std::vector<std::string> &leaf_names,
+        const std::vector<double> &leaf_bw,
+        const std::vector<size_t> &ip_to_leaf, double system_bw);
+
+    /** @return Number of buses Q. */
+    size_t numBuses() const { return buses_.size(); }
+
+    /** @return Bus descriptors. */
+    const std::vector<BusSpec> &buses() const { return buses_; }
+
+    /** @return True if IP @p i uses bus @p j. */
+    bool uses(size_t i, size_t j) const;
+
+    /**
+     * Evaluate with bus bottlenecks added (Eq. 17). With a single bus
+     * used by every IP whose bandwidth is >= the total demand rate,
+     * the result reduces to the base model.
+     */
+    InterconnectResult evaluate(const SocSpec &soc,
+                                const Usecase &usecase) const;
+
+  private:
+    std::vector<BusSpec> buses_;
+    std::vector<std::vector<bool>> use_;
+};
+
+} // namespace gables
+
+#endif // GABLES_CORE_INTERCONNECT_H

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * MultiAmdahl baseline (Keslassy, Weiser, Zidenberg, CAL 2012) — the
+ * model the paper identifies as closest to Gables (Section VI).
+ * MultiAmdahl models an N-IP SoC where work is divided sequentially
+ * among IPs, each IP's performance is a function of the chip
+ * resources (area) allotted to it, and the design question is the
+ * optimal resource allocation. It ignores bandwidth, which is the
+ * key difference from Gables.
+ */
+
+#ifndef GABLES_CORE_MULTIAMDAHL_H
+#define GABLES_CORE_MULTIAMDAHL_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/soc_spec.h"
+#include "core/usecase.h"
+
+namespace gables {
+
+/** One task of a MultiAmdahl workload. */
+struct MultiAmdahlTask {
+    /** Display name of the IP executing this task. */
+    std::string name;
+    /** Fraction ti of sequential work in this task (sums to 1). */
+    double timeShare = 0.0;
+    /**
+     * Performance of the task's IP per unit Ppeak when given
+     * resource a: perf(a) = efficiency * sqrt(a) by default
+     * (Pollack's rule), expressed through perfExponent and
+     * efficiency as perf(a) = efficiency * a^perfExponent.
+     */
+    double efficiency = 1.0;
+    /** Exponent of the resource-performance curve, in (0, 1]. */
+    double perfExponent = 0.5;
+};
+
+/** Result of a MultiAmdahl optimization. */
+struct MultiAmdahlResult {
+    /** Optimal area allocated to each task's IP (sums to budget). */
+    std::vector<double> areas;
+    /** Execution time per unit of work at the optimum. */
+    double time = 0.0;
+    /** Performance 1/time (ops/s given Ppeak scaling of 1). */
+    double performance = 0.0;
+};
+
+/**
+ * The MultiAmdahl optimizer: minimize sum_i(ti / perf_i(a_i))
+ * subject to sum_i(a_i) = area budget, a_i >= 0.
+ *
+ * With perf_i(a) = e_i * a^p, the Lagrange condition gives
+ * a_i proportional to (ti / e_i)^(1/(1+p)); we solve generally by
+ * projected multiplicative updates so arbitrary exponents per task
+ * work too.
+ */
+class MultiAmdahlModel
+{
+  public:
+    /**
+     * @param tasks       Sequential tasks with resource curves.
+     * @param area_budget Total chip resources to divide, > 0.
+     */
+    MultiAmdahlModel(std::vector<MultiAmdahlTask> tasks,
+                     double area_budget);
+
+    /** @return The tasks. */
+    const std::vector<MultiAmdahlTask> &tasks() const { return tasks_; }
+
+    /** @return The optimal allocation and resulting performance. */
+    MultiAmdahlResult optimize() const;
+
+    /**
+     * Evaluate execution time for a given (not necessarily optimal)
+     * allocation; exposed so tests can verify optimality by probing
+     * perturbations.
+     */
+    double timeFor(const std::vector<double> &areas) const;
+
+  private:
+    std::vector<MultiAmdahlTask> tasks_;
+    double areaBudget_;
+};
+
+/**
+ * Convert a Gables SoC + usecase into the nearest MultiAmdahl
+ * problem: task shares from the usecase's serialized times at
+ * unit area, efficiencies from IP accelerations. Used by the
+ * serialized-work comparison bench.
+ *
+ * @param soc     SoC description.
+ * @param usecase Usecase whose fractions become time shares.
+ * @param area_budget Total area to divide.
+ */
+MultiAmdahlModel multiAmdahlFromGables(const SocSpec &soc,
+                                       const Usecase &usecase,
+                                       double area_budget);
+
+} // namespace gables
+
+#endif // GABLES_CORE_MULTIAMDAHL_H

@@ -1,0 +1,70 @@
+#include "core/roofline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace gables {
+
+Roofline::Roofline(double peak_perf, double peak_bw, std::string name)
+    : peakPerf_(peak_perf), peakBw_(peak_bw), name_(std::move(name))
+{
+    if (!(peak_perf > 0.0))
+        fatal("roofline '" + name_ + "': peak performance must be > 0");
+    if (!(peak_bw > 0.0))
+        fatal("roofline '" + name_ + "': peak bandwidth must be > 0");
+}
+
+void
+Roofline::addComputeCeiling(const std::string &label, double ops_per_sec)
+{
+    if (!(ops_per_sec > 0.0) || ops_per_sec > peakPerf_)
+        fatal("compute ceiling '" + label + "' must be in (0, peak]");
+    computeCeilings_.push_back({label, ops_per_sec});
+    std::sort(computeCeilings_.begin(), computeCeilings_.end(),
+              [](const Ceiling &a, const Ceiling &b) {
+                  return a.value > b.value;
+              });
+}
+
+void
+Roofline::addBandwidthCeiling(const std::string &label,
+                              double bytes_per_sec)
+{
+    if (!(bytes_per_sec > 0.0) || bytes_per_sec > peakBw_)
+        fatal("bandwidth ceiling '" + label + "' must be in (0, peak]");
+    bandwidthCeilings_.push_back({label, bytes_per_sec});
+    std::sort(bandwidthCeilings_.begin(), bandwidthCeilings_.end(),
+              [](const Ceiling &a, const Ceiling &b) {
+                  return a.value > b.value;
+              });
+}
+
+double
+Roofline::attainable(double intensity) const
+{
+    if (intensity < 0.0)
+        fatal("operational intensity must be >= 0");
+    if (std::isinf(intensity))
+        return peakPerf_;
+    return std::min(peakPerf_, peakBw_ * intensity);
+}
+
+double
+Roofline::attainableWithCeilings(double intensity) const
+{
+    if (intensity < 0.0)
+        fatal("operational intensity must be >= 0");
+    double perf = computeCeilings_.empty() ? peakPerf_
+                                           : computeCeilings_.back().value;
+    double bw = bandwidthCeilings_.empty()
+                    ? peakBw_
+                    : bandwidthCeilings_.back().value;
+    if (std::isinf(intensity))
+        return perf;
+    return std::min(perf, bw * intensity);
+}
+
+} // namespace gables

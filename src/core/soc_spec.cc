@@ -1,0 +1,110 @@
+#include "core/soc_spec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace gables {
+
+SocSpec::SocSpec(std::string name, double ppeak, double bpeak,
+                 std::vector<IpSpec> ips)
+    : name_(std::move(name)), ppeak_(ppeak), bpeak_(bpeak),
+      ips_(std::move(ips))
+{
+    validate();
+}
+
+void
+SocSpec::validate() const
+{
+    if (!(ppeak_ > 0.0) || std::isinf(ppeak_))
+        fatal("SoC '" + name_ + "': Ppeak must be positive and finite");
+    if (!(bpeak_ > 0.0) || std::isinf(bpeak_))
+        fatal("SoC '" + name_ + "': Bpeak must be positive and finite");
+    if (ips_.empty())
+        fatal("SoC '" + name_ + "': needs at least one IP (IP[0])");
+    if (ips_[0].acceleration != 1.0)
+        fatal("SoC '" + name_ +
+              "': IP[0] acceleration A0 must be 1 (paper Section III-D)");
+    for (size_t i = 0; i < ips_.size(); ++i) {
+        const IpSpec &ip = ips_[i];
+        if (!(ip.acceleration > 0.0) || std::isinf(ip.acceleration))
+            fatal("SoC '" + name_ + "': IP[" + std::to_string(i) +
+                  "] acceleration must be positive and finite");
+        if (!(ip.bandwidth > 0.0) || std::isinf(ip.bandwidth))
+            fatal("SoC '" + name_ + "': IP[" + std::to_string(i) +
+                  "] bandwidth must be positive and finite");
+    }
+}
+
+const IpSpec &
+SocSpec::ip(size_t i) const
+{
+    if (i >= ips_.size())
+        fatal("SoC '" + name_ + "': IP index " + std::to_string(i) +
+              " out of range (N=" + std::to_string(ips_.size()) + ")");
+    return ips_[i];
+}
+
+double
+SocSpec::ipPeakPerf(size_t i) const
+{
+    return ip(i).acceleration * ppeak_;
+}
+
+Roofline
+SocSpec::ipRoofline(size_t i) const
+{
+    const IpSpec &spec = ip(i);
+    return Roofline(spec.acceleration * ppeak_,
+                    std::min(spec.bandwidth, bpeak_),
+                    spec.name.empty() ? ("IP[" + std::to_string(i) + "]")
+                                      : spec.name);
+}
+
+size_t
+SocSpec::ipIndex(const std::string &name) const
+{
+    for (size_t i = 0; i < ips_.size(); ++i) {
+        if (ips_[i].name == name)
+            return i;
+    }
+    fatal("SoC '" + name_ + "': no IP named '" + name + "'");
+}
+
+SocSpec
+SocSpec::withBpeak(double bpeak) const
+{
+    return SocSpec(name_, ppeak_, bpeak, ips_);
+}
+
+SocSpec
+SocSpec::withIpBandwidth(size_t i, double bandwidth) const
+{
+    std::vector<IpSpec> ips = ips_;
+    if (i >= ips.size())
+        fatal("withIpBandwidth: IP index out of range");
+    ips[i].bandwidth = bandwidth;
+    return SocSpec(name_, ppeak_, bpeak_, std::move(ips));
+}
+
+SocSpec
+SocSpec::withIpAcceleration(size_t i, double acceleration) const
+{
+    std::vector<IpSpec> ips = ips_;
+    if (i >= ips.size())
+        fatal("withIpAcceleration: IP index out of range");
+    ips[i].acceleration = acceleration;
+    return SocSpec(name_, ppeak_, bpeak_, std::move(ips));
+}
+
+SocSpec
+SocSpec::withIp(IpSpec ip_spec) const
+{
+    std::vector<IpSpec> ips = ips_;
+    ips.push_back(std::move(ip_spec));
+    return SocSpec(name_, ppeak_, bpeak_, std::move(ips));
+}
+
+} // namespace gables

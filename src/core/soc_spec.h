@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Hardware-side parameters of the Gables model (paper Table II, HW
+ * inputs): the SoC's baseline peak performance Ppeak, shared off-chip
+ * bandwidth Bpeak, and per-IP acceleration Ai and link bandwidth Bi.
+ */
+
+#ifndef GABLES_CORE_SOC_SPEC_H
+#define GABLES_CORE_SOC_SPEC_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/roofline.h"
+
+namespace gables {
+
+/**
+ * One IP block of an N-IP SoC: its acceleration relative to the
+ * baseline IP[0] and its bandwidth to the on-chip interconnect.
+ */
+struct IpSpec {
+    /** Display name (e.g. "CPU", "GPU", "ISP"). */
+    std::string name;
+    /**
+     * Peak acceleration Ai (unitless): the IP's peak performance is
+     * Ai * Ppeak. The paper requires A0 == 1.
+     */
+    double acceleration = 1.0;
+    /** Peak bandwidth Bi to/from the IP (bytes/s). */
+    double bandwidth = 0.0;
+};
+
+/**
+ * Hardware description of an N-IP SoC for the Gables model.
+ *
+ * Invariants (enforced by validate(), which every model entry point
+ * calls): Ppeak > 0, Bpeak > 0, at least one IP, IP[0].acceleration
+ * == 1, all accelerations > 0 and bandwidths > 0.
+ */
+class SocSpec
+{
+  public:
+    /**
+     * @param name  Display name of the SoC.
+     * @param ppeak Peak performance of the baseline IP[0] (ops/s).
+     * @param bpeak Peak off-chip memory bandwidth (bytes/s).
+     * @param ips   IP blocks, IP[0] first.
+     */
+    SocSpec(std::string name, double ppeak, double bpeak,
+            std::vector<IpSpec> ips);
+
+    /** @return Display name. */
+    const std::string &name() const { return name_; }
+
+    /** @return Baseline peak performance Ppeak (ops/s). */
+    double ppeak() const { return ppeak_; }
+
+    /** @return Off-chip memory bandwidth Bpeak (bytes/s). */
+    double bpeak() const { return bpeak_; }
+
+    /** @return Number of IP blocks N. */
+    size_t numIps() const { return ips_.size(); }
+
+    /** @return The IP descriptors, IP[0] first. */
+    const std::vector<IpSpec> &ips() const { return ips_; }
+
+    /** @return IP descriptor @p i (bounds-checked). */
+    const IpSpec &ip(size_t i) const;
+
+    /** @return Peak performance of IP @p i: Ai * Ppeak (ops/s). */
+    double ipPeakPerf(size_t i) const;
+
+    /**
+     * @return The isolated roofline of IP @p i: flat roof Ai * Ppeak,
+     * slanted roof min(Bi, Bpeak) — an IP cannot stream faster than
+     * either its own link or the chip's memory interface when running
+     * alone.
+     */
+    Roofline ipRoofline(size_t i) const;
+
+    /**
+     * @return Index of the IP named @p name.
+     * @throws FatalError if no IP has that name.
+     */
+    size_t ipIndex(const std::string &name) const;
+
+    /** @return A copy with off-chip bandwidth replaced by @p bpeak. */
+    SocSpec withBpeak(double bpeak) const;
+
+    /** @return A copy with IP @p i's bandwidth replaced. */
+    SocSpec withIpBandwidth(size_t i, double bandwidth) const;
+
+    /** @return A copy with IP @p i's acceleration replaced. */
+    SocSpec withIpAcceleration(size_t i, double acceleration) const;
+
+    /** @return A copy with an extra IP appended. */
+    SocSpec withIp(IpSpec ip) const;
+
+    /**
+     * Check all invariants.
+     * @throws FatalError describing the first violated invariant.
+     */
+    void validate() const;
+
+  private:
+    std::string name_;
+    double ppeak_;
+    double bpeak_;
+    std::vector<IpSpec> ips_;
+};
+
+} // namespace gables
+
+#endif // GABLES_CORE_SOC_SPEC_H

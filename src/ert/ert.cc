@@ -1,0 +1,79 @@
+#include "ert/ert.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace gables {
+
+std::vector<double>
+ErtConfig::defaultIntensities()
+{
+    std::vector<double> out;
+    for (int k = -6; k <= 10; ++k)
+        out.push_back(std::pow(2.0, k));
+    return out;
+}
+
+std::vector<ErtSample>
+ErtSweep::run(sim::SimSoc &soc, const std::string &engine_name,
+              const ErtConfig &config)
+{
+    if (config.intensities.empty())
+        fatal("ERT sweep needs at least one intensity");
+
+    std::vector<ErtSample> samples;
+    samples.reserve(config.intensities.size());
+    for (double intensity : config.intensities) {
+        sim::KernelJob job;
+        job.workingSetBytes = config.workingSetBytes;
+        job.totalBytes = config.totalBytes;
+        job.opsPerByte = intensity;
+        job.coordinationTime = config.coordinationTime;
+
+        sim::SocRunStats stats = soc.run({{engine_name, job}});
+        const sim::EngineRunStats &e = stats.engine(engine_name);
+
+        ErtSample sample;
+        sample.opsPerByte = intensity;
+        sample.workingSetBytes = config.workingSetBytes;
+        sample.opsRate = e.achievedOpsRate();
+        sample.byteRate = e.achievedByteRate();
+        sample.missByteRate = e.achievedMissRate();
+        samples.push_back(sample);
+    }
+    return samples;
+}
+
+std::vector<ErtSample>
+ErtSweep::workingSetSweep(sim::SimSoc &soc,
+                          const std::string &engine_name,
+                          const std::vector<double> &working_sets,
+                          double intensity, double bytes_per_point)
+{
+    if (working_sets.empty())
+        fatal("working-set sweep needs at least one size");
+
+    std::vector<ErtSample> samples;
+    samples.reserve(working_sets.size());
+    for (double set_bytes : working_sets) {
+        sim::KernelJob job;
+        job.workingSetBytes = set_bytes;
+        job.totalBytes = std::max(bytes_per_point, set_bytes);
+        job.opsPerByte = intensity;
+
+        sim::SocRunStats stats = soc.run({{engine_name, job}});
+        const sim::EngineRunStats &e = stats.engine(engine_name);
+
+        ErtSample sample;
+        sample.opsPerByte = intensity;
+        sample.workingSetBytes = set_bytes;
+        sample.opsRate = e.achievedOpsRate();
+        sample.byteRate = e.achievedByteRate();
+        sample.missByteRate = e.achievedMissRate();
+        samples.push_back(sample);
+    }
+    return samples;
+}
+
+} // namespace gables

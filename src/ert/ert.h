@@ -1,0 +1,83 @@
+/**
+ * @file
+ * An Empirical-Roofline-Toolkit-style harness (paper Section IV-A,
+ * after Lo et al.): run the Algorithm-1 kernel on a simulated IP at
+ * a sweep of operational intensities (and optionally working-set
+ * sizes), and collect achieved compute and data rates from which a
+ * roofline can be fitted.
+ */
+
+#ifndef GABLES_ERT_ERT_H
+#define GABLES_ERT_ERT_H
+
+#include <string>
+#include <vector>
+
+#include "sim/soc.h"
+
+namespace gables {
+
+/** One measured operating point of the micro-benchmark. */
+struct ErtSample {
+    /** The configured FLOPS_PER_BYTE of the kernel. */
+    double opsPerByte = 0.0;
+    /** Working-set size used (bytes). */
+    double workingSetBytes = 0.0;
+    /** Achieved computation rate (ops/s). */
+    double opsRate = 0.0;
+    /** Achieved total data rate, hits plus misses (bytes/s). */
+    double byteRate = 0.0;
+    /** Achieved off-IP (DRAM-side) data rate (bytes/s). */
+    double missByteRate = 0.0;
+};
+
+/** Sweep configuration. */
+struct ErtConfig {
+    /** Intensities to probe (ops/byte). */
+    std::vector<double> intensities;
+    /** Working-set size (bytes); large sets defeat local memories. */
+    double workingSetBytes = 64.0 * 1024 * 1024;
+    /** Total bytes streamed per point (more = less startup skew). */
+    double totalBytes = 256.0 * 1024 * 1024;
+    /**
+     * Per-request coordination time (s) charged on the engine's
+     * coordinator; 0 for isolated roofline runs.
+     */
+    double coordinationTime = 0.0;
+
+    /** @return The paper's default intensity ladder: powers of two
+     * from 2^-6 to 2^10 ops/byte. */
+    static std::vector<double> defaultIntensities();
+};
+
+/**
+ * ERT sweep driver.
+ */
+class ErtSweep
+{
+  public:
+    /**
+     * Run the kernel on engine @p engine_name of @p soc, alone on
+     * the chip, once per intensity in @p config.
+     */
+    static std::vector<ErtSample> run(sim::SimSoc &soc,
+                                      const std::string &engine_name,
+                                      const ErtConfig &config);
+
+    /**
+     * Sweep working-set size at fixed intensity to expose local-
+     * memory bandwidth tiers (the paper's note that smaller arrays
+     * hit in L1/L2 and see higher bandwidth).
+     *
+     * @param working_sets Working-set sizes (bytes) to probe.
+     * @param intensity    Fixed kernel intensity (ops/byte).
+     */
+    static std::vector<ErtSample> workingSetSweep(
+        sim::SimSoc &soc, const std::string &engine_name,
+        const std::vector<double> &working_sets, double intensity,
+        double bytes_per_point = 256.0 * 1024 * 1024);
+};
+
+} // namespace gables
+
+#endif // GABLES_ERT_ERT_H

@@ -1,0 +1,69 @@
+#include "plot/ascii.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace gables {
+
+AsciiCanvas::AsciiCanvas(size_t cols, size_t rows)
+    : cols_(cols), rows_(rows),
+      grid_(rows, std::string(cols, ' '))
+{
+    if (cols == 0 || rows == 0)
+        fatal("ASCII canvas dimensions must be positive");
+}
+
+void
+AsciiCanvas::put(long col, long row, char c)
+{
+    if (col < 0 || row < 0 || col >= static_cast<long>(cols_) ||
+        row >= static_cast<long>(rows_))
+        return;
+    grid_[static_cast<size_t>(row)][static_cast<size_t>(col)] = c;
+}
+
+void
+AsciiCanvas::write(long col, long row, const std::string &s)
+{
+    for (size_t i = 0; i < s.size(); ++i)
+        put(col + static_cast<long>(i), row, s[i]);
+}
+
+void
+AsciiCanvas::line(long c1, long r1, long c2, long r2, char c)
+{
+    long dc = std::labs(c2 - c1);
+    long dr = -std::labs(r2 - r1);
+    long sc = c1 < c2 ? 1 : -1;
+    long sr = r1 < r2 ? 1 : -1;
+    long err = dc + dr;
+    while (true) {
+        put(c1, r1, c);
+        if (c1 == c2 && r1 == r2)
+            break;
+        long e2 = 2 * err;
+        if (e2 >= dr) {
+            err += dr;
+            c1 += sc;
+        }
+        if (e2 <= dc) {
+            err += dc;
+            r1 += sr;
+        }
+    }
+}
+
+std::string
+AsciiCanvas::render() const
+{
+    std::string out;
+    out.reserve((cols_ + 1) * rows_);
+    for (const std::string &row : grid_) {
+        out += row;
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace gables

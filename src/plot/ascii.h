@@ -1,0 +1,56 @@
+/**
+ * @file
+ * ASCII-art plotting backend for terminal output — the CLI's quick
+ * look at rooflines and sweeps without leaving the shell.
+ */
+
+#ifndef GABLES_PLOT_ASCII_H
+#define GABLES_PLOT_ASCII_H
+
+#include <string>
+#include <vector>
+
+namespace gables {
+
+/**
+ * A character-cell canvas with (0,0) at the top-left.
+ */
+class AsciiCanvas
+{
+  public:
+    /**
+     * @param cols Canvas width in characters.
+     * @param rows Canvas height in characters.
+     */
+    AsciiCanvas(size_t cols, size_t rows);
+
+    /** @return Width in characters. */
+    size_t cols() const { return cols_; }
+
+    /** @return Height in characters. */
+    size_t rows() const { return rows_; }
+
+    /** Set one cell; out-of-range coordinates are ignored. */
+    void put(long col, long row, char c);
+
+    /** Write a string starting at (col, row), clipped to the canvas. */
+    void write(long col, long row, const std::string &s);
+
+    /**
+     * Draw a line from (c1, r1) to (c2, r2) with Bresenham's
+     * algorithm using character @p c.
+     */
+    void line(long c1, long r1, long c2, long r2, char c);
+
+    /** @return The canvas as newline-joined rows. */
+    std::string render() const;
+
+  private:
+    size_t cols_;
+    size_t rows_;
+    std::vector<std::string> grid_;
+};
+
+} // namespace gables
+
+#endif // GABLES_PLOT_ASCII_H

@@ -1,0 +1,81 @@
+#include "plot/axes.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/math_util.h"
+#include "util/strings.h"
+
+namespace gables {
+
+Axis::Axis(Scale scale, double lo, double hi, double px_lo, double px_hi)
+    : scale_(scale), lo_(lo), hi_(hi), pxLo_(px_lo), pxHi_(px_hi)
+{
+    if (!(hi > lo))
+        fatal("axis requires hi > lo");
+    if (scale == Scale::Log && !(lo > 0.0))
+        fatal("log axis requires positive bounds");
+    if (px_lo == px_hi)
+        fatal("axis pixel interval is empty");
+}
+
+double
+Axis::toPixel(double v) const
+{
+    double t;
+    if (scale_ == Scale::Log) {
+        double clamped = clamp(v, lo_, hi_);
+        t = (std::log(clamped) - std::log(lo_)) /
+            (std::log(hi_) - std::log(lo_));
+    } else {
+        t = (clamp(v, lo_, hi_) - lo_) / (hi_ - lo_);
+    }
+    return pxLo_ + t * (pxHi_ - pxLo_);
+}
+
+std::vector<double>
+Axis::ticks() const
+{
+    if (scale_ == Scale::Log) {
+        std::vector<double> out;
+        for (double t : logTicks(lo_, hi_)) {
+            if (t >= lo_ * (1.0 - 1e-12) && t <= hi_ * (1.0 + 1e-12))
+                out.push_back(t);
+        }
+        return out;
+    }
+    // Linear: choose a step of 1/2/5 x 10^k giving 4-10 ticks.
+    double span = hi_ - lo_;
+    double raw = span / 6.0;
+    double mag = std::pow(10.0, std::floor(std::log10(raw)));
+    double step = mag;
+    for (double m : {1.0, 2.0, 5.0, 10.0}) {
+        if (mag * m >= raw) {
+            step = mag * m;
+            break;
+        }
+    }
+    std::vector<double> out;
+    double first = std::ceil(lo_ / step) * step;
+    for (double v = first; v <= hi_ + step * 1e-9; v += step)
+        out.push_back(v);
+    return out;
+}
+
+std::string
+Axis::formatTick(double v)
+{
+    if (v == 0.0)
+        return "0";
+    double mag = std::fabs(v);
+    if (mag >= 1e5 || mag < 1e-3) {
+        std::ostringstream oss;
+        oss.precision(3);
+        oss << v;
+        return oss.str();
+    }
+    return formatDouble(v, 4);
+}
+
+} // namespace gables

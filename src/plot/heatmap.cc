@@ -1,0 +1,174 @@
+#include "plot/heatmap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "plot/svg.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace gables {
+
+HeatmapPlot::HeatmapPlot(std::string title, std::string x_label,
+                         std::string y_label)
+    : title_(std::move(title)), xLabel_(std::move(x_label)),
+      yLabel_(std::move(y_label))
+{}
+
+void
+HeatmapPlot::setGrid(std::vector<std::string> x_ticks,
+                     std::vector<std::string> y_ticks,
+                     std::vector<std::vector<double>> values)
+{
+    if (values.empty() || x_ticks.empty() || y_ticks.empty())
+        fatal("heatmap grid must be non-empty");
+    if (values.size() != y_ticks.size())
+        fatal("heatmap has " + std::to_string(values.size()) +
+              " rows but " + std::to_string(y_ticks.size()) +
+              " row labels");
+    for (const auto &row : values) {
+        if (row.size() != x_ticks.size())
+            fatal("heatmap row width mismatch");
+    }
+    xTicks_ = std::move(x_ticks);
+    yTicks_ = std::move(y_ticks);
+    values_ = std::move(values);
+}
+
+void
+HeatmapPlot::range(double &lo, double &hi) const
+{
+    lo = std::numeric_limits<double>::infinity();
+    hi = -std::numeric_limits<double>::infinity();
+    for (const auto &row : values_) {
+        for (double v : row) {
+            if (logScale_ && !(v > 0.0))
+                continue;
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+        }
+    }
+    if (!(hi > lo)) {
+        lo = logScale_ ? lo / 2.0 : lo - 0.5;
+        hi = logScale_ ? hi * 2.0 : hi + 0.5;
+    }
+}
+
+double
+HeatmapPlot::normalized(double v, double lo, double hi) const
+{
+    if (logScale_) {
+        if (!(v > 0.0))
+            return 0.0;
+        return (std::log(v) - std::log(lo)) /
+               (std::log(hi) - std::log(lo));
+    }
+    return (v - lo) / (hi - lo);
+}
+
+namespace {
+
+/** Sequential ramp: deep blue -> white-ish -> warm red. */
+std::string
+rampColor(double t)
+{
+    t = std::clamp(t, 0.0, 1.0);
+    // Two-segment linear ramp through near-white at t = 0.5.
+    double r, g, b;
+    if (t < 0.5) {
+        double u = t / 0.5;
+        r = 33 + u * (247 - 33);
+        g = 102 + u * (247 - 102);
+        b = 172 + u * (247 - 172);
+    } else {
+        double u = (t - 0.5) / 0.5;
+        r = 247 + u * (178 - 247);
+        g = 247 + u * (24 - 247);
+        b = 247 + u * (43 - 247);
+    }
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "#%02x%02x%02x",
+                  static_cast<int>(r), static_cast<int>(g),
+                  static_cast<int>(b));
+    return buf;
+}
+
+} // namespace
+
+std::string
+HeatmapPlot::renderSvg(double cell) const
+{
+    if (values_.empty())
+        fatal("heatmap has no grid");
+    const double ml = 80.0, mt = 40.0, mb = 50.0, mr = 20.0;
+    const size_t cols = xTicks_.size();
+    const size_t rows = yTicks_.size();
+    SvgCanvas svg(ml + cols * cell + mr, mt + rows * cell + mb);
+
+    double lo, hi;
+    range(lo, hi);
+
+    svg.text((ml + cols * cell + mr) / 2, 22, title_, 14,
+             TextAnchor::Middle);
+    for (size_t r = 0; r < rows; ++r) {
+        // Row 0 at the bottom.
+        double y = mt + (rows - 1 - r) * cell;
+        svg.text(ml - 8, y + cell / 2 + 4, yTicks_[r], 11,
+                 TextAnchor::End);
+        for (size_t c = 0; c < cols; ++c) {
+            double x = ml + c * cell;
+            double v = values_[r][c];
+            svg.rect(x, y, cell, cell, "#cccccc",
+                     rampColor(normalized(v, lo, hi)));
+            svg.text(x + cell / 2, y + cell / 2 + 4,
+                     formatDouble(v, v < 10 ? 2 : 1), 10,
+                     TextAnchor::Middle,
+                     normalized(v, lo, hi) > 0.75 ? "#ffffff"
+                                                  : "#222222");
+        }
+    }
+    for (size_t c = 0; c < cols; ++c) {
+        svg.text(ml + c * cell + cell / 2, mt + rows * cell + 16,
+                 xTicks_[c], 11, TextAnchor::Middle);
+    }
+    svg.text(ml + cols * cell / 2, mt + rows * cell + 34, xLabel_, 12,
+             TextAnchor::Middle);
+    svg.text(20, mt + rows * cell / 2, yLabel_, 12, TextAnchor::Middle,
+             "#222222", -90.0);
+    return svg.render();
+}
+
+std::string
+HeatmapPlot::renderAscii() const
+{
+    if (values_.empty())
+        fatal("heatmap has no grid");
+    static const char shades[] = {' ', '.', ':', '-', '=',
+                                  '+', '*', '#', '%', '@'};
+    double lo, hi;
+    range(lo, hi);
+
+    std::string out = title_ + "\n";
+    size_t label_width = 0;
+    for (const std::string &t : yTicks_)
+        label_width = std::max(label_width, t.size());
+    for (size_t r = yTicks_.size(); r-- > 0;) {
+        out += padLeft(yTicks_[r], label_width) + " |";
+        for (double v : values_[r]) {
+            int idx = static_cast<int>(normalized(v, lo, hi) * 9.999);
+            idx = std::clamp(idx, 0, 9);
+            out += shades[idx];
+            out += shades[idx];
+        }
+        out += "|\n";
+    }
+    out += std::string(label_width + 2, ' ');
+    for (const std::string &t : xTicks_)
+        out += (t.substr(0, 1) + " ");
+    out += " <- " + xLabel_ + " (rows: " + yLabel_ + ")\n";
+    return out;
+}
+
+} // namespace gables

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Heatmap charts: 2D parameter maps such as attainable performance
+ * over (work fraction, operational intensity) — the whole Figure 8
+ * family in one picture. SVG cells use a perceptually-ordered
+ * sequential ramp; ASCII uses shade characters.
+ */
+
+#ifndef GABLES_PLOT_HEATMAP_H
+#define GABLES_PLOT_HEATMAP_H
+
+#include <string>
+#include <vector>
+
+namespace gables {
+
+/**
+ * Builder for heatmaps over a rectangular grid.
+ */
+class HeatmapPlot
+{
+  public:
+    /**
+     * @param title   Chart title.
+     * @param x_label X-axis label (columns).
+     * @param y_label Y-axis label (rows).
+     */
+    HeatmapPlot(std::string title, std::string x_label,
+                std::string y_label);
+
+    /**
+     * Provide the grid. Values are arranged values[row][col]; rows
+     * render bottom-up (row 0 at the bottom), matching plot
+     * convention.
+     *
+     * @param x_ticks Column labels, one per column.
+     * @param y_ticks Row labels, one per row.
+     * @param values  values[row][col]; all rows must have
+     *                x_ticks.size() entries.
+     */
+    void setGrid(std::vector<std::string> x_ticks,
+                 std::vector<std::string> y_ticks,
+                 std::vector<std::vector<double>> values);
+
+    /**
+     * Use a logarithmic color scale (appropriate when values span
+     * orders of magnitude, as mixing speedups do).
+     */
+    void setLogScale(bool log_scale) { logScale_ = log_scale; }
+
+    /** @return The SVG document. */
+    std::string renderSvg(double cell = 48.0) const;
+
+    /** @return An ASCII rendering using shade characters. */
+    std::string renderAscii() const;
+
+  private:
+    double normalized(double v, double lo, double hi) const;
+    void range(double &lo, double &hi) const;
+
+    std::string title_;
+    std::string xLabel_;
+    std::string yLabel_;
+    std::vector<std::string> xTicks_;
+    std::vector<std::string> yTicks_;
+    std::vector<std::vector<double>> values_;
+    bool logScale_ = false;
+};
+
+} // namespace gables
+
+#endif // GABLES_PLOT_HEATMAP_H

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Roofline and multi-roofline (Gables) charts on log-log axes —
+ * Figure 1, Figures 7/9, and the scaled-roofline visualization of
+ * paper Section III-C with drop lines at the operating intensities.
+ */
+
+#ifndef GABLES_PLOT_ROOFLINE_PLOT_H
+#define GABLES_PLOT_ROOFLINE_PLOT_H
+
+#include <string>
+#include <vector>
+
+#include "core/gables.h"
+#include "core/roofline.h"
+
+namespace gables {
+
+/**
+ * Builder for roofline charts. Add plain rooflines (classic view) or
+ * a whole Gables SoC/usecase (scaled view), then render to SVG or
+ * ASCII.
+ */
+class RooflinePlot
+{
+  public:
+    /**
+     * @param title  Chart title.
+     * @param x_lo   Lowest intensity shown (ops/byte), > 0.
+     * @param x_hi   Highest intensity shown.
+     */
+    RooflinePlot(std::string title, double x_lo = 0.01,
+                 double x_hi = 100.0);
+
+    /**
+     * Add a classic roofline: flat roof at peakPerf, slanted roof at
+     * peakBw * x.
+     */
+    void addRoofline(const Roofline &roofline);
+
+    /**
+     * Add the scaled-roofline family of a Gables evaluation: one
+     * scaled roofline per IP with work (min(Bi x, Ai Ppeak) / fi), the
+     * memory roofline (Bpeak x), a drop line at each operating
+     * intensity (Ii, Iavg), and a marker at the attainable bound.
+     */
+    void addGables(const SocSpec &soc, const Usecase &usecase);
+
+    /**
+     * Add a free-standing drop line at intensity @p x up to value
+     * @p y with label.
+     */
+    void addDropLine(double x, double y, const std::string &label);
+
+    /** @return The SVG document. */
+    std::string renderSvg(double width = 720.0,
+                          double height = 480.0) const;
+
+    /** @return An ASCII rendering (for the CLI). */
+    std::string renderAscii(size_t cols = 76, size_t rows = 24) const;
+
+  private:
+    struct Curve {
+        std::string label;
+        // Piecewise description: y = min(slope * x, flat) / divisor;
+        // flat may be +inf for slanted-only (memory) curves.
+        double slope;
+        double flat;
+        double divisor;
+    };
+    struct Drop {
+        double x;
+        double y;
+        std::string label;
+    };
+
+    double curveValue(const Curve &c, double x) const;
+    double maxCurveValue() const;
+
+    std::string title_;
+    double xLo_;
+    double xHi_;
+    std::vector<Curve> curves_;
+    std::vector<Drop> drops_;
+};
+
+} // namespace gables
+
+#endif // GABLES_PLOT_ROOFLINE_PLOT_H

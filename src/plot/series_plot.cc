@@ -1,0 +1,204 @@
+#include "plot/series_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "plot/ascii.h"
+#include "plot/svg.h"
+#include "util/logging.h"
+
+namespace gables {
+
+namespace {
+
+const char *kPalette[] = {
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+    "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+};
+
+const char *
+color(size_t i)
+{
+    return kPalette[i % (sizeof(kPalette) / sizeof(kPalette[0]))];
+}
+
+} // namespace
+
+SeriesPlot::SeriesPlot(std::string title, std::string x_label,
+                       std::string y_label)
+    : title_(std::move(title)), xLabel_(std::move(x_label)),
+      yLabel_(std::move(y_label))
+{}
+
+void
+SeriesPlot::setScales(Scale x_scale, Scale y_scale)
+{
+    xScale_ = x_scale;
+    yScale_ = y_scale;
+}
+
+void
+SeriesPlot::addSeries(const Series &series)
+{
+    if (series.x.size() != series.y.size())
+        fatal("series '" + series.label + "' has mismatched x/y sizes");
+    if (series.x.empty())
+        fatal("series '" + series.label + "' is empty");
+    series_.push_back(series);
+}
+
+void
+SeriesPlot::dataRange(double &x_lo, double &x_hi, double &y_lo,
+                      double &y_hi) const
+{
+    x_lo = y_lo = std::numeric_limits<double>::infinity();
+    x_hi = y_hi = -std::numeric_limits<double>::infinity();
+    for (const Series &s : series_) {
+        for (size_t i = 0; i < s.x.size(); ++i) {
+            // Skip points a log axis cannot show.
+            if (xScale_ == Scale::Log && !(s.x[i] > 0.0))
+                continue;
+            if (yScale_ == Scale::Log && !(s.y[i] > 0.0))
+                continue;
+            x_lo = std::min(x_lo, s.x[i]);
+            x_hi = std::max(x_hi, s.x[i]);
+            y_lo = std::min(y_lo, s.y[i]);
+            y_hi = std::max(y_hi, s.y[i]);
+        }
+    }
+    if (!(x_hi > x_lo)) {
+        x_lo -= 0.5;
+        x_hi += 0.5;
+    }
+    if (!(y_hi > y_lo)) {
+        double pad = yScale_ == Scale::Log ? 0.0 : 0.5;
+        y_lo = yScale_ == Scale::Log ? y_lo / 2.0 : y_lo - pad;
+        y_hi = yScale_ == Scale::Log ? y_hi * 2.0 : y_hi + pad;
+    } else if (yScale_ == Scale::Log) {
+        y_lo /= 1.5;
+        y_hi *= 1.5;
+    } else {
+        double pad = (y_hi - y_lo) * 0.08;
+        y_lo -= pad;
+        y_hi += pad;
+    }
+}
+
+std::string
+SeriesPlot::renderSvg(double width, double height) const
+{
+    if (series_.empty())
+        fatal("series plot has no data");
+
+    const double ml = 70.0, mr = 20.0, mt = 40.0, mb = 50.0;
+    SvgCanvas svg(width, height);
+
+    double x_lo, x_hi, y_lo, y_hi;
+    dataRange(x_lo, x_hi, y_lo, y_hi);
+    Axis xaxis(xScale_, x_lo, x_hi, ml, width - mr);
+    Axis yaxis(yScale_, y_lo, y_hi, height - mb, mt);
+
+    svg.rect(ml, mt, width - ml - mr, height - mt - mb, "#888888");
+    for (double t : xaxis.ticks()) {
+        double px = xaxis.toPixel(t);
+        svg.line(px, height - mb, px, height - mb + 4, "#888888");
+        svg.text(px, height - mb + 18, Axis::formatTick(t), 11,
+                 TextAnchor::Middle);
+    }
+    for (double t : yaxis.ticks()) {
+        double py = yaxis.toPixel(t);
+        svg.line(ml - 4, py, ml, py, "#888888");
+        svg.text(ml - 8, py + 4, Axis::formatTick(t), 11,
+                 TextAnchor::End);
+    }
+    svg.text(width / 2, height - 12, xLabel_, 12, TextAnchor::Middle);
+    svg.text(18, height / 2, yLabel_, 12, TextAnchor::Middle, "#222222",
+             -90.0);
+    svg.text(width / 2, 22, title_, 14, TextAnchor::Middle);
+
+    for (size_t si = 0; si < series_.size(); ++si) {
+        const Series &s = series_[si];
+        std::vector<std::pair<double, double>> pts;
+        for (size_t i = 0; i < s.x.size(); ++i) {
+            if (xScale_ == Scale::Log && !(s.x[i] > 0.0))
+                continue;
+            if (yScale_ == Scale::Log && !(s.y[i] > 0.0))
+                continue;
+            pts.emplace_back(xaxis.toPixel(s.x[i]),
+                             yaxis.toPixel(s.y[i]));
+        }
+        svg.polyline(pts, color(si), 2.0);
+        for (const auto &[px, py] : pts)
+            svg.circle(px, py, 2.5, color(si));
+        // Legend entry.
+        double ly = mt + 16.0 * (si + 1);
+        svg.line(ml + 8, ly, ml + 28, ly, color(si), 2.0);
+        svg.text(ml + 34, ly + 4, s.label, 11, TextAnchor::Start,
+                 color(si));
+    }
+    return svg.render();
+}
+
+std::string
+SeriesPlot::renderAscii(size_t cols, size_t rows) const
+{
+    if (series_.empty())
+        fatal("series plot has no data");
+
+    const long ml = 9, mb = 2, mt = 1;
+    AsciiCanvas canvas(cols, rows);
+
+    double x_lo, x_hi, y_lo, y_hi;
+    dataRange(x_lo, x_hi, y_lo, y_hi);
+    Axis xaxis(xScale_, x_lo, x_hi, ml + 1,
+               static_cast<double>(cols) - 2);
+    Axis yaxis(yScale_, y_lo, y_hi,
+               static_cast<double>(rows) - mb - 1, mt);
+
+    for (long r = mt; r < static_cast<long>(rows) - mb; ++r)
+        canvas.put(ml, r, '|');
+    for (long c = ml; c < static_cast<long>(cols) - 1; ++c)
+        canvas.put(c, static_cast<long>(rows) - mb, '-');
+    canvas.put(ml, static_cast<long>(rows) - mb, '+');
+    canvas.write(0, 0, title_.substr(0, cols));
+    canvas.write(0, mt, Axis::formatTick(y_hi).substr(0, 8));
+    canvas.write(0, static_cast<long>(rows) - mb - 1,
+                 Axis::formatTick(y_lo).substr(0, 8));
+    canvas.write(ml, static_cast<long>(rows) - 1,
+                 Axis::formatTick(x_lo) + " .. " + xLabel_ + " .. " +
+                     Axis::formatTick(x_hi));
+
+    const char glyphs[] = {'*', 'o', '#', '%', '@', '+', 'x', '='};
+    for (size_t si = 0; si < series_.size(); ++si) {
+        const Series &s = series_[si];
+        char glyph = glyphs[si % sizeof(glyphs)];
+        long prev_c = -1, prev_r = -1;
+        for (size_t i = 0; i < s.x.size(); ++i) {
+            if (xScale_ == Scale::Log && !(s.x[i] > 0.0))
+                continue;
+            if (yScale_ == Scale::Log && !(s.y[i] > 0.0))
+                continue;
+            long c = static_cast<long>(
+                std::lround(xaxis.toPixel(s.x[i])));
+            long r = static_cast<long>(
+                std::lround(yaxis.toPixel(s.y[i])));
+            if (prev_c >= 0)
+                canvas.line(prev_c, prev_r, c, r, glyph);
+            else
+                canvas.put(c, r, glyph);
+            prev_c = c;
+            prev_r = r;
+        }
+    }
+
+    std::string out = canvas.render();
+    for (size_t si = 0; si < series_.size(); ++si) {
+        out += "  ";
+        out += glyphs[si % sizeof(glyphs)];
+        out += " " + series_[si].label + "\n";
+    }
+    return out;
+}
+
+} // namespace gables

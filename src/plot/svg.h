@@ -1,0 +1,88 @@
+/**
+ * @file
+ * A minimal SVG drawing backend: primitives with inline styling,
+ * accumulated into a standalone SVG document. Enough to render the
+ * paper's roofline and series figures without external dependencies.
+ */
+
+#ifndef GABLES_PLOT_SVG_H
+#define GABLES_PLOT_SVG_H
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace gables {
+
+/** Text anchor positions, matching the SVG attribute. */
+enum class TextAnchor { Start, Middle, End };
+
+/**
+ * An SVG document builder. Coordinates are in pixels with the origin
+ * at the top-left (standard SVG convention); plot classes handle the
+ * y-flip from data space.
+ */
+class SvgCanvas
+{
+  public:
+    /**
+     * @param width  Document width in pixels.
+     * @param height Document height in pixels.
+     */
+    SvgCanvas(double width, double height);
+
+    /** @return Document width. */
+    double width() const { return width_; }
+
+    /** @return Document height. */
+    double height() const { return height_; }
+
+    /** Draw a line segment. */
+    void line(double x1, double y1, double x2, double y2,
+              const std::string &stroke = "#222222",
+              double stroke_width = 1.0, bool dashed = false);
+
+    /** Draw a polyline through the given points. */
+    void polyline(const std::vector<std::pair<double, double>> &points,
+                  const std::string &stroke = "#222222",
+                  double stroke_width = 1.5, bool dashed = false);
+
+    /** Draw an axis-aligned rectangle (outline + optional fill). */
+    void rect(double x, double y, double w, double h,
+              const std::string &stroke = "#222222",
+              const std::string &fill = "none");
+
+    /** Draw a filled circle. */
+    void circle(double cx, double cy, double r,
+                const std::string &fill = "#222222");
+
+    /**
+     * Draw text.
+     *
+     * @param rotate Degrees of rotation about the text origin (e.g.
+     *               -90 for a vertical y-axis label).
+     */
+    void text(double x, double y, const std::string &content,
+              double size = 12.0, TextAnchor anchor = TextAnchor::Start,
+              const std::string &fill = "#222222", double rotate = 0.0);
+
+    /** @return The complete SVG document. */
+    std::string render() const;
+
+    /**
+     * Write the document to @p path.
+     * @throws FatalError on I/O failure.
+     */
+    void save(const std::string &path) const;
+
+  private:
+    static std::string escape(const std::string &s);
+
+    double width_;
+    double height_;
+    std::ostringstream body_;
+};
+
+} // namespace gables
+
+#endif // GABLES_PLOT_SVG_H

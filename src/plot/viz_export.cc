@@ -1,0 +1,86 @@
+#include "plot/viz_export.h"
+
+#include <cmath>
+
+#include "util/json_writer.h"
+#include "util/math_util.h"
+#include "util/strings.h"
+
+namespace gables {
+
+void
+writeVisualizationJson(std::ostream &out, const SocSpec &soc,
+                       const Usecase &usecase, double x_lo, double x_hi,
+                       size_t samples)
+{
+    GablesResult result = GablesModel::evaluate(soc, usecase);
+    std::vector<double> xs = logspace(x_lo, x_hi, samples);
+
+    JsonWriter json(out);
+    json.beginObject();
+    json.kv("soc", soc.name());
+    json.kv("usecase", usecase.name());
+    json.numberArray("x", xs);
+
+    json.key("curves");
+    json.beginArray();
+    for (size_t i = 0; i < soc.numIps(); ++i) {
+        if (usecase.fraction(i) == 0.0)
+            continue; // omitted, as in the paper's plots
+        json.beginObject();
+        json.kv("label", soc.ip(i).name + " (f=" +
+                             formatDouble(usecase.fraction(i), 3) +
+                             ")");
+        json.kv("kind", "ip");
+        json.kv("ip", static_cast<int>(i));
+        std::vector<double> ys;
+        ys.reserve(xs.size());
+        for (double x : xs)
+            ys.push_back(
+                GablesModel::scaledIpRoofline(soc, usecase, i, x));
+        json.numberArray("y", ys);
+        json.endObject();
+    }
+    {
+        json.beginObject();
+        json.kv("label", "memory");
+        json.kv("kind", "memory");
+        std::vector<double> ys;
+        ys.reserve(xs.size());
+        for (double x : xs)
+            ys.push_back(GablesModel::memoryRoofline(soc, x));
+        json.numberArray("y", ys);
+        json.endObject();
+    }
+    json.endArray();
+
+    json.key("drops");
+    json.beginArray();
+    for (size_t i = 0; i < soc.numIps(); ++i) {
+        double f = usecase.fraction(i);
+        double intensity = usecase.intensity(i);
+        if (f == 0.0 || std::isinf(intensity))
+            continue;
+        json.beginObject();
+        json.kv("label", "I" + std::to_string(i));
+        json.kv("x", intensity);
+        json.kv("y", GablesModel::scaledIpRoofline(soc, usecase, i,
+                                                   intensity));
+        json.endObject();
+    }
+    if (!std::isinf(result.averageIntensity)) {
+        json.beginObject();
+        json.kv("label", "Iavg");
+        json.kv("x", result.averageIntensity);
+        json.kv("y", GablesModel::memoryRoofline(
+                         soc, result.averageIntensity));
+        json.endObject();
+    }
+    json.endArray();
+
+    json.kv("attainable", result.attainable);
+    json.kv("bottleneck", result.bottleneckLabel(soc));
+    json.endObject();
+}
+
+} // namespace gables

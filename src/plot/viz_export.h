@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Machine-readable export of the scaled-roofline visualization (the
+ * interface behind the paper's interactive web tool [10]): for a
+ * SoC/usecase pair, emit the curve of every active IP's scaled
+ * roofline, the memory roofline, the drop points at the operating
+ * intensities, and the attainable bound as one JSON document a
+ * front-end can plot directly.
+ */
+
+#ifndef GABLES_PLOT_VIZ_EXPORT_H
+#define GABLES_PLOT_VIZ_EXPORT_H
+
+#include <ostream>
+
+#include "core/gables.h"
+
+namespace gables {
+
+/**
+ * Write the visualization JSON for @p usecase on @p soc to @p out.
+ *
+ * Document shape:
+ * @code
+ * {
+ *   "soc": "...", "usecase": "...",
+ *   "x": [intensities...],          // shared log-spaced abscissae
+ *   "curves": [
+ *     {"label": "CPU (f=0.25)", "kind": "ip", "ip": 0,
+ *      "y": [...]},
+ *     {"label": "memory", "kind": "memory", "y": [...]}
+ *   ],
+ *   "drops": [{"label": "I0", "x": 8, "y": 1.6e11}, ...],
+ *   "attainable": 1.6e11,
+ *   "bottleneck": "memory interface (Bpeak)"
+ * }
+ * @endcode
+ *
+ * @param samples Points per curve (log-spaced over [x_lo, x_hi]).
+ */
+void writeVisualizationJson(std::ostream &out, const SocSpec &soc,
+                            const Usecase &usecase, double x_lo = 0.01,
+                            double x_hi = 100.0, size_t samples = 64);
+
+} // namespace gables
+
+#endif // GABLES_PLOT_VIZ_EXPORT_H

@@ -1,0 +1,63 @@
+#include "sim/event_queue.h"
+
+#include "util/logging.h"
+
+namespace gables {
+namespace sim {
+
+void
+EventQueue::schedule(double when, Callback fn)
+{
+    if (when < now_)
+        fatal("cannot schedule an event in the past (when=" +
+              std::to_string(when) + ", now=" + std::to_string(now_) +
+              ")");
+    queue_.push(Event{when, nextSeq_++, std::move(fn)});
+}
+
+void
+EventQueue::scheduleAfter(double delay, Callback fn)
+{
+    schedule(now_ + delay, std::move(fn));
+}
+
+double
+EventQueue::run()
+{
+    while (!queue_.empty()) {
+        // Copy out before pop so the callback may schedule freely.
+        Event ev = queue_.top();
+        queue_.pop();
+        now_ = ev.when;
+        ++executed_;
+        ev.fn();
+    }
+    return now_;
+}
+
+double
+EventQueue::runUntil(double deadline)
+{
+    while (!queue_.empty() && queue_.top().when <= deadline) {
+        Event ev = queue_.top();
+        queue_.pop();
+        now_ = ev.when;
+        ++executed_;
+        ev.fn();
+    }
+    if (now_ < deadline)
+        now_ = deadline;
+    return now_;
+}
+
+void
+EventQueue::reset()
+{
+    queue_ = {};
+    now_ = 0.0;
+    nextSeq_ = 0;
+    executed_ = 0;
+}
+
+} // namespace sim
+} // namespace gables

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Discrete-event simulation core: a time-ordered event queue with
+ * deterministic tie-breaking (FIFO among same-time events).
+ *
+ * Time is modeled as double seconds. The simulator is single-
+ * threaded and deterministic: identical inputs produce identical
+ * schedules on every run and platform.
+ */
+
+#ifndef GABLES_SIM_EVENT_QUEUE_H
+#define GABLES_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace gables {
+namespace sim {
+
+/**
+ * The event queue. Components schedule callbacks at absolute times;
+ * run() drains events in (time, insertion-order) order.
+ */
+class EventQueue
+{
+  public:
+    /** Callback type executed when an event fires. */
+    using Callback = std::function<void()>;
+
+    /** @return The current simulated time (seconds). */
+    double now() const { return now_; }
+
+    /**
+     * Schedule @p fn at absolute time @p when.
+     *
+     * @param when Absolute simulated time; must be >= now().
+     * @param fn   Callback to run.
+     */
+    void schedule(double when, Callback fn);
+
+    /** Schedule @p fn at now() + @p delay. */
+    void scheduleAfter(double delay, Callback fn);
+
+    /**
+     * Run until the queue is empty.
+     *
+     * @return The time of the last executed event (== now()).
+     */
+    double run();
+
+    /**
+     * Run until the queue empties or simulated time would exceed
+     * @p deadline; events scheduled beyond the deadline stay queued.
+     */
+    double runUntil(double deadline);
+
+    /** @return True if no events are pending. */
+    bool empty() const { return queue_.empty(); }
+
+    /** @return Number of events executed so far. */
+    uint64_t eventsExecuted() const { return executed_; }
+
+    /** Discard all pending events and reset time to zero. */
+    void reset();
+
+  private:
+    struct Event {
+        double when;
+        uint64_t seq;
+        Callback fn;
+    };
+
+    struct Later {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    double now_ = 0.0;
+    uint64_t nextSeq_ = 0;
+    uint64_t executed_ = 0;
+};
+
+} // namespace sim
+} // namespace gables
+
+#endif // GABLES_SIM_EVENT_QUEUE_H

@@ -1,0 +1,149 @@
+#include "sim/ip_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace gables {
+namespace sim {
+
+IpEngine::IpEngine(IpEngineConfig config, EventQueue *eq,
+                   BandwidthResource *link, MemoryPath path,
+                   LocalMemory *local, BandwidthResource *coordinator)
+    : config_(std::move(config)), eq_(eq), link_(link),
+      path_(std::move(path)), local_(local), coordinator_(coordinator),
+      compute_(config_.name + ".compute", config_.opsPerSec)
+{
+    GABLES_ASSERT(eq_ != nullptr, "engine needs an event queue");
+    GABLES_ASSERT(link_ != nullptr, "engine needs a link resource");
+    if (!(config_.opsPerSec > 0.0))
+        fatal("engine '" + config_.name + "': ops/s must be > 0");
+    if (!(config_.requestBytes > 0.0))
+        fatal("engine '" + config_.name + "': request size must be > 0");
+    if (config_.maxOutstanding < 1)
+        fatal("engine '" + config_.name +
+              "': need at least one outstanding request");
+}
+
+double
+IpEngine::chunkBytes(uint64_t index) const
+{
+    // All chunks are requestBytes except a possibly-short final one.
+    if (index + 1 < chunksTotal_)
+        return config_.requestBytes;
+    double tail = job_.totalBytes -
+                  config_.requestBytes * static_cast<double>(index);
+    return tail > 0.0 ? tail : config_.requestBytes;
+}
+
+void
+IpEngine::start(const KernelJob &job,
+                std::function<void(const EngineRunStats &)> on_done)
+{
+    if (running_)
+        fatal("engine '" + config_.name + "' is already running a job");
+    if (!(job.totalBytes > 0.0) || !(job.workingSetBytes > 0.0))
+        fatal("kernel job sizes must be > 0");
+    if (!(job.opsPerByte > 0.0))
+        fatal("kernel job ops/byte must be > 0");
+    if (job.coordinationTime > 0.0 && coordinator_ == nullptr)
+        fatal("engine '" + config_.name +
+              "': job needs coordination but no coordinator is wired");
+
+    running_ = true;
+    job_ = job;
+    onDone_ = std::move(on_done);
+    chunksTotal_ = static_cast<uint64_t>(
+        std::ceil(job.totalBytes / config_.requestBytes));
+    GABLES_ASSERT(chunksTotal_ > 0, "job has no chunks");
+    chunksIssued_ = 0;
+    chunksComputed_ = 0;
+    inFlight_ = 0;
+    stats_ = EngineRunStats{};
+    stats_.name = config_.name;
+    stats_.startTime = eq_->now();
+
+    if (local_ != nullptr)
+        local_->setWorkingSet(job.workingSetBytes);
+
+    issueRequests();
+}
+
+void
+IpEngine::issueRequests()
+{
+    while (running_ && inFlight_ < config_.maxOutstanding &&
+           chunksIssued_ < chunksTotal_) {
+        double bytes = chunkBytes(chunksIssued_);
+        ++chunksIssued_;
+        ++inFlight_;
+
+        double now = eq_->now();
+        bool hit = local_ != nullptr && local_->nextIsHit();
+        double completion;
+        if (hit) {
+            completion = local_->resource().acquire(now, bytes);
+        } else {
+            // Misses traverse the private link then the shared path.
+            completion = link_->acquire(now, bytes);
+            completion = path_.request(completion, bytes);
+            if (job_.coordinationTime > 0.0) {
+                // The coordinator must service the request's
+                // completion interrupt before the data is usable.
+                double coord = coordinator_->acquireService(
+                    now, job_.coordinationTime);
+                completion = std::max(completion, coord);
+            }
+        }
+        eq_->schedule(completion, [this, bytes, hit] {
+            onDataArrived(bytes, !hit);
+        });
+    }
+}
+
+void
+IpEngine::onDataArrived(double chunk_bytes, bool was_miss)
+{
+    GABLES_ASSERT(inFlight_ > 0, "data arrival with nothing in flight");
+    --inFlight_;
+    stats_.bytes += chunk_bytes;
+    if (was_miss)
+        stats_.missBytes += chunk_bytes;
+
+    double ops = chunk_bytes * job_.opsPerByte;
+    double done_at = compute_.acquire(eq_->now(), ops);
+    eq_->schedule(done_at, [this, ops] {
+        stats_.ops += ops;
+        onChunkComputed();
+    });
+
+    issueRequests();
+}
+
+void
+IpEngine::onChunkComputed()
+{
+    ++chunksComputed_;
+    if (chunksComputed_ == chunksTotal_) {
+        running_ = false;
+        stats_.endTime = eq_->now();
+        GABLES_ASSERT(stats_.endTime > stats_.startTime,
+                      "zero-duration engine run");
+        if (onDone_)
+            onDone_(stats_);
+    }
+}
+
+void
+IpEngine::reset()
+{
+    GABLES_ASSERT(!running_, "cannot reset a running engine");
+    compute_.reset();
+    chunksTotal_ = chunksIssued_ = chunksComputed_ = 0;
+    inFlight_ = 0;
+    stats_ = EngineRunStats{};
+}
+
+} // namespace sim
+} // namespace gables

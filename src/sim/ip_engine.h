@@ -1,0 +1,167 @@
+/**
+ * @file
+ * A simulated IP block running the roofline micro-benchmark kernel
+ * (paper Algorithm 1): stream an array through the memory system and
+ * perform a configurable number of operations per byte. The engine
+ * overlaps data movement (up to a configurable number of outstanding
+ * requests) with computation, so its measured throughput traces out
+ * a roofline as the flops-per-byte knob varies.
+ *
+ * The engine also models the paper's third usecase bottleneck
+ * (Section II-B): per-request coordination routed through another
+ * IP — typically the CPU — which charges a fixed interrupt-handling
+ * service time on the coordinator for every off-IP request.
+ */
+
+#ifndef GABLES_SIM_IP_ENGINE_H
+#define GABLES_SIM_IP_ENGINE_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/event_queue.h"
+#include "sim/memory_system.h"
+#include "sim/resource.h"
+
+namespace gables {
+namespace sim {
+
+/** Static configuration of a simulated IP engine. */
+struct IpEngineConfig {
+    /** Display name. */
+    std::string name;
+    /** Peak computation rate (ops/s). */
+    double opsPerSec = 1e9;
+    /** Bytes per memory request (transfer granularity). */
+    double requestBytes = 4096.0;
+    /** Maximum outstanding memory requests (memory-level
+     * parallelism). */
+    int maxOutstanding = 8;
+};
+
+/** The micro-benchmark job an engine executes (Algorithm 1). */
+struct KernelJob {
+    /** Array footprint in bytes (working set; drives local-memory
+     * hit ratio). */
+    double workingSetBytes = 64.0 * 1024 * 1024;
+    /** Total bytes to stream (trials * footprint). */
+    double totalBytes = 64.0 * 1024 * 1024;
+    /** Operations performed per byte streamed (the intensity knob —
+     * FLOPS_PER_BYTE in Algorithm 1). */
+    double opsPerByte = 1.0;
+    /**
+     * Coordination service time charged on the engine's coordinator
+     * per miss request (seconds); 0 disables. Models offloaded-work
+     * buffer handoff interrupts routed through the CPU (paper
+     * Section II-B, third bottleneck). Isolated micro-benchmark runs
+     * use 0; offloaded mixing runs use a positive cost.
+     */
+    double coordinationTime = 0.0;
+};
+
+/** Measured results of one engine run. */
+struct EngineRunStats {
+    /** Engine display name. */
+    std::string name;
+    /** Simulated start and end times of the run (s). */
+    double startTime = 0.0;
+    double endTime = 0.0;
+    /** Total operations executed. */
+    double ops = 0.0;
+    /** Total bytes requested (hits + misses). */
+    double bytes = 0.0;
+    /** Bytes that missed the local memory and went down the path. */
+    double missBytes = 0.0;
+
+    /** @return Elapsed simulated time (s). */
+    double elapsed() const { return endTime - startTime; }
+    /** @return Achieved computation rate (ops/s). */
+    double achievedOpsRate() const { return ops / elapsed(); }
+    /** @return Achieved total data rate (bytes/s). */
+    double achievedByteRate() const { return bytes / elapsed(); }
+    /** @return Achieved off-IP (miss) data rate (bytes/s). */
+    double achievedMissRate() const { return missBytes / elapsed(); }
+};
+
+/**
+ * A simulated IP engine. Owned by SimSoc; not copyable (registered
+ * callbacks capture `this`).
+ */
+class IpEngine
+{
+  public:
+    /**
+     * @param config      Static configuration.
+     * @param eq          The SoC's event queue.
+     * @param link        The engine's private link resource (its Bi).
+     * @param path        Hops beyond the link toward DRAM (fabrics,
+     *                    DRAM controller) in traversal order.
+     * @param local       Optional local memory (nullptr = none).
+     * @param coordinator Optional resource charged coordinationTime
+     *                    per miss (nullptr = none).
+     */
+    IpEngine(IpEngineConfig config, EventQueue *eq,
+             BandwidthResource *link, MemoryPath path,
+             LocalMemory *local, BandwidthResource *coordinator);
+
+    IpEngine(const IpEngine &) = delete;
+    IpEngine &operator=(const IpEngine &) = delete;
+
+    /** @return The configuration. */
+    const IpEngineConfig &config() const { return config_; }
+
+    /** @return The engine's compute resource (for stats). */
+    const BandwidthResource &computeResource() const { return compute_; }
+
+    /**
+     * @return Mutable compute resource, used to wire another engine's
+     * coordination traffic onto this engine's cycles.
+     */
+    BandwidthResource *computeResourcePtr() { return &compute_; }
+
+    /** @return The engine's link resource. */
+    BandwidthResource *link() { return link_; }
+
+    /**
+     * Begin executing @p job; @p on_done fires (once) with the run's
+     * stats when the last chunk completes. The engine must be idle.
+     */
+    void start(const KernelJob &job,
+               std::function<void(const EngineRunStats &)> on_done);
+
+    /** @return True if a job is in flight. */
+    bool busy() const { return running_; }
+
+    /** Reset per-run state (the SoC resets resources separately). */
+    void reset();
+
+  private:
+    void issueRequests();
+    void onDataArrived(double chunk_bytes, bool was_miss);
+    void onChunkComputed();
+    double chunkBytes(uint64_t index) const;
+
+    IpEngineConfig config_;
+    EventQueue *eq_;
+    BandwidthResource *link_;
+    MemoryPath path_;
+    LocalMemory *local_;
+    BandwidthResource *coordinator_;
+    BandwidthResource compute_;
+
+    // Per-run state.
+    bool running_ = false;
+    KernelJob job_;
+    std::function<void(const EngineRunStats &)> onDone_;
+    uint64_t chunksTotal_ = 0;
+    uint64_t chunksIssued_ = 0;
+    uint64_t chunksComputed_ = 0;
+    int inFlight_ = 0;
+    EngineRunStats stats_;
+};
+
+} // namespace sim
+} // namespace gables
+
+#endif // GABLES_SIM_IP_ENGINE_H

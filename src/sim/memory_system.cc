@@ -1,0 +1,72 @@
+#include "sim/memory_system.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace gables {
+namespace sim {
+
+void
+MemoryPath::addHop(BandwidthResource *hop)
+{
+    GABLES_ASSERT(hop != nullptr, "null hop");
+    hops_.push_back(hop);
+}
+
+double
+MemoryPath::request(double arrival, double bytes) const
+{
+    GABLES_ASSERT(!hops_.empty(), "memory path has no hops");
+    double t = arrival;
+    for (BandwidthResource *hop : hops_)
+        t = hop->acquire(t, bytes);
+    return t;
+}
+
+double
+MemoryPath::unloadedLatency() const
+{
+    double lat = 0.0;
+    for (const BandwidthResource *hop : hops_)
+        lat += hop->latency();
+    return lat;
+}
+
+LocalMemory::LocalMemory(std::string name, double capacity,
+                         double bandwidth, double latency)
+    : capacity_(capacity), resource_(std::move(name), bandwidth, latency)
+{
+    if (!(capacity >= 0.0))
+        fatal("local memory capacity must be >= 0");
+}
+
+void
+LocalMemory::setWorkingSet(double working_set_bytes)
+{
+    if (!(working_set_bytes > 0.0))
+        fatal("working set must be > 0");
+    hitRatio_ = std::min(1.0, capacity_ / working_set_bytes);
+    accumulator_ = 0.0;
+}
+
+bool
+LocalMemory::nextIsHit()
+{
+    accumulator_ += hitRatio_;
+    if (accumulator_ >= 1.0 - 1e-12) {
+        accumulator_ -= 1.0;
+        return true;
+    }
+    return false;
+}
+
+void
+LocalMemory::reset()
+{
+    accumulator_ = 0.0;
+    resource_.reset();
+}
+
+} // namespace sim
+} // namespace gables

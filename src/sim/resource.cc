@@ -1,0 +1,67 @@
+#include "sim/resource.h"
+
+#include <algorithm>
+
+#include "sim/trace.h"
+#include "util/logging.h"
+
+namespace gables {
+namespace sim {
+
+BandwidthResource::BandwidthResource(std::string name, double bandwidth,
+                                     double latency)
+    : name_(std::move(name)), bandwidth_(bandwidth), latency_(latency)
+{
+    if (!(bandwidth > 0.0))
+        fatal("resource '" + name_ + "': bandwidth must be > 0");
+    if (!(latency >= 0.0))
+        fatal("resource '" + name_ + "': latency must be >= 0");
+}
+
+double
+BandwidthResource::acquire(double arrival, double bytes)
+{
+    GABLES_ASSERT(bytes >= 0.0, "negative transfer size");
+    double start = std::max(arrival, busyUntil_);
+    double service = bytes / bandwidth_;
+    if (tracer_ != nullptr)
+        tracer_->record(name_, start, service);
+    busyUntil_ = start + service;
+    busyTime_ += service;
+    bytesServed_ += bytes;
+    ++requests_;
+    return busyUntil_ + latency_;
+}
+
+double
+BandwidthResource::acquireService(double arrival, double service_seconds)
+{
+    GABLES_ASSERT(service_seconds >= 0.0, "negative service time");
+    double start = std::max(arrival, busyUntil_);
+    if (tracer_ != nullptr)
+        tracer_->record(name_, start, service_seconds);
+    busyUntil_ = start + service_seconds;
+    busyTime_ += service_seconds;
+    ++requests_;
+    return busyUntil_ + latency_;
+}
+
+double
+BandwidthResource::utilization(double end_time) const
+{
+    if (!(end_time > 0.0))
+        return 0.0;
+    return std::min(1.0, busyTime_ / end_time);
+}
+
+void
+BandwidthResource::reset()
+{
+    busyUntil_ = 0.0;
+    bytesServed_ = 0.0;
+    busyTime_ = 0.0;
+    requests_ = 0;
+}
+
+} // namespace sim
+} // namespace gables

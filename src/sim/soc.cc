@@ -1,0 +1,201 @@
+#include "sim/soc.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace gables {
+namespace sim {
+
+double
+SocRunStats::aggregateOpsRate() const
+{
+    if (!(duration > 0.0))
+        return 0.0;
+    double ops = 0.0;
+    for (const EngineRunStats &e : engines)
+        ops += e.ops;
+    return ops / duration;
+}
+
+const EngineRunStats &
+SocRunStats::engine(const std::string &name) const
+{
+    for (const EngineRunStats &e : engines) {
+        if (e.name == name)
+            return e;
+    }
+    fatal("no engine stats named '" + name + "'");
+}
+
+SimSoc::SimSoc(std::string name) : name_(std::move(name)) {}
+
+void
+SimSoc::setDram(double bandwidth, double latency)
+{
+    if (dram_)
+        fatal("SimSoc '" + name_ + "': DRAM already configured");
+    dram_ = std::make_unique<BandwidthResource>("DRAM", bandwidth,
+                                                latency);
+    dram_->setTracer(tracer_);
+}
+
+BandwidthResource *
+SimSoc::addFabric(const std::string &fabric_name, double bandwidth,
+                  double latency, BandwidthResource *parent)
+{
+    fabrics_.push_back(std::make_unique<BandwidthResource>(
+        fabric_name, bandwidth, latency));
+    BandwidthResource *fabric = fabrics_.back().get();
+    fabric->setTracer(tracer_);
+    if (parent != nullptr) {
+        bool known = false;
+        for (const auto &f : fabrics_)
+            known = known || f.get() == parent;
+        if (!known)
+            fatal("fabric parent is not a fabric of this SoC");
+    }
+    fabricParent_[fabric] = parent;
+    return fabric;
+}
+
+IpEngine *
+SimSoc::addEngine(const IpEngineConfig &config,
+                  const EngineAttachment &attach)
+{
+    if (!dram_)
+        fatal("SimSoc '" + name_ + "': configure DRAM before engines");
+    if (!(attach.linkBandwidth > 0.0))
+        fatal("engine '" + config.name + "': link bandwidth must be > 0");
+    for (const std::string &existing : engineNames_) {
+        if (existing == config.name)
+            fatal("duplicate engine name '" + config.name + "'");
+    }
+
+    links_.push_back(std::make_unique<BandwidthResource>(
+        config.name + ".link", attach.linkBandwidth, attach.linkLatency));
+    BandwidthResource *link = links_.back().get();
+    link->setTracer(tracer_);
+
+    // Build the shared path: fabric chain (child to parent) then DRAM.
+    MemoryPath path;
+    BandwidthResource *hop = attach.fabric;
+    while (hop != nullptr) {
+        path.addHop(hop);
+        auto it = fabricParent_.find(hop);
+        GABLES_ASSERT(it != fabricParent_.end(), "unknown fabric in path");
+        hop = it->second;
+    }
+    path.addHop(dram_.get());
+
+    LocalMemory *local = nullptr;
+    if (attach.localCapacity > 0.0) {
+        if (!(attach.localBandwidth > 0.0))
+            fatal("engine '" + config.name +
+                  "': local memory needs a bandwidth");
+        locals_.push_back(std::make_unique<LocalMemory>(
+            config.name + ".local", attach.localCapacity,
+            attach.localBandwidth, attach.localLatency));
+        local = locals_.back().get();
+    }
+
+    BandwidthResource *coordinator = nullptr;
+    if (!attach.coordinatorEngine.empty())
+        coordinator = engine(attach.coordinatorEngine)
+                          ->computeResourcePtr();
+
+    engines_.push_back(std::make_unique<IpEngine>(
+        config, &eq_, link, std::move(path), local, coordinator));
+    engines_.back()->computeResourcePtr()->setTracer(tracer_);
+    if (local != nullptr)
+        local->resource().setTracer(tracer_);
+    engineNames_.push_back(config.name);
+    coordinators_.push_back(coordinator);
+    return engines_.back().get();
+}
+
+IpEngine *
+SimSoc::engine(const std::string &engine_name)
+{
+    for (size_t i = 0; i < engineNames_.size(); ++i) {
+        if (engineNames_[i] == engine_name)
+            return engines_[i].get();
+    }
+    fatal("SimSoc '" + name_ + "': no engine named '" + engine_name +
+          "'");
+}
+
+void
+SimSoc::attachTracer(TraceRecorder *tracer)
+{
+    tracer_ = tracer;
+    if (dram_)
+        dram_->setTracer(tracer);
+    for (auto &f : fabrics_)
+        f->setTracer(tracer);
+    for (auto &l : links_)
+        l->setTracer(tracer);
+    for (auto &m : locals_)
+        m->resource().setTracer(tracer);
+    for (auto &e : engines_)
+        e->computeResourcePtr()->setTracer(tracer);
+}
+
+void
+SimSoc::resetAll()
+{
+    eq_.reset();
+    if (dram_)
+        dram_->reset();
+    for (auto &f : fabrics_)
+        f->reset();
+    for (auto &l : links_)
+        l->reset();
+    for (auto &m : locals_)
+        m->reset();
+    for (auto &e : engines_)
+        e->reset();
+}
+
+SocRunStats
+SimSoc::run(const std::vector<JobSubmission> &jobs)
+{
+    if (jobs.empty())
+        fatal("SimSoc::run needs at least one job");
+    resetAll();
+
+    SocRunStats stats;
+    stats.engines.resize(jobs.size());
+    size_t remaining = jobs.size();
+
+    for (size_t j = 0; j < jobs.size(); ++j) {
+        IpEngine *eng = engine(jobs[j].engineName);
+        eng->start(jobs[j].job,
+                   [&stats, j, &remaining](const EngineRunStats &s) {
+                       stats.engines[j] = s;
+                       --remaining;
+                   });
+    }
+    stats.duration = eq_.run();
+    GABLES_ASSERT(remaining == 0, "a job never completed");
+
+    auto snapshot = [&](const BandwidthResource &r) {
+        stats.resources.push_back(
+            ResourceStats{r.name(), r.bytesServed(), r.busyTime(),
+                          r.utilization(stats.duration)});
+    };
+    if (dram_) {
+        snapshot(*dram_);
+        stats.dramBytes = dram_->bytesServed();
+    }
+    for (const auto &f : fabrics_)
+        snapshot(*f);
+    for (const auto &l : links_)
+        snapshot(*l);
+    for (const auto &e : engines_)
+        snapshot(e->computeResource());
+    return stats;
+}
+
+} // namespace sim
+} // namespace gables

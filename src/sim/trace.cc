@@ -1,0 +1,75 @@
+#include "sim/trace.h"
+
+#include <map>
+
+#include "util/json_writer.h"
+#include "util/logging.h"
+
+namespace gables {
+namespace sim {
+
+void
+TraceRecorder::record(const std::string &track, double start,
+                      double duration, const std::string &label)
+{
+    GABLES_ASSERT(duration >= 0.0, "negative trace duration");
+    events_.push_back(
+        TraceEvent{track, label.empty() ? track : label, start,
+                   duration});
+}
+
+std::vector<TraceEvent>
+TraceRecorder::track(const std::string &name) const
+{
+    std::vector<TraceEvent> out;
+    for (const TraceEvent &e : events_) {
+        if (e.track == name)
+            out.push_back(e);
+    }
+    return out;
+}
+
+void
+TraceRecorder::writeChromeTrace(std::ostream &out) const
+{
+    // Stable tid per track, in order of first appearance.
+    std::map<std::string, int> tids;
+    for (const TraceEvent &e : events_) {
+        if (!tids.count(e.track))
+            tids[e.track] = static_cast<int>(tids.size()) + 1;
+    }
+
+    JsonWriter json(out, false);
+    json.beginObject();
+    json.key("traceEvents");
+    json.beginArray();
+    // Name each thread (track) first.
+    for (const auto &[name, tid] : tids) {
+        json.beginObject();
+        json.kv("name", "thread_name");
+        json.kv("ph", "M");
+        json.kv("pid", 1);
+        json.kv("tid", tid);
+        json.key("args");
+        json.beginObject();
+        json.kv("name", name);
+        json.endObject();
+        json.endObject();
+    }
+    for (const TraceEvent &e : events_) {
+        json.beginObject();
+        json.kv("name", e.label);
+        json.kv("ph", "X");
+        json.kv("pid", 1);
+        json.kv("tid", tids[e.track]);
+        json.kv("ts", e.start * 1e6);       // microseconds
+        json.kv("dur", e.duration * 1e6);
+        json.endObject();
+    }
+    json.endArray();
+    json.kv("displayTimeUnit", "ns");
+    json.endObject();
+}
+
+} // namespace sim
+} // namespace gables

@@ -1,0 +1,269 @@
+#include "soc/config.h"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/strings.h"
+#include "util/units.h"
+
+namespace gables {
+
+const Usecase &
+SocConfig::usecase(const std::string &name) const
+{
+    for (const Usecase &u : usecases) {
+        if (u.name() == name)
+            return u;
+    }
+    fatal("config has no usecase named '" + name + "'");
+}
+
+namespace {
+
+/** Parse error helper carrying the line number. */
+[[noreturn]] void
+parseError(int line, const std::string &msg)
+{
+    fatal("config line " + std::to_string(line) + ": " + msg);
+}
+
+/** Strip comments (# or ;) outside of any quoting (we have none). */
+std::string
+stripComment(const std::string &line)
+{
+    size_t pos = line.find_first_of("#;");
+    return pos == std::string::npos ? line : line.substr(0, pos);
+}
+
+/** Parse "fraction @ intensity"; intensity may be "inf". */
+IpWork
+parseWork(const std::string &value, int line)
+{
+    size_t at = value.find('@');
+    if (at == std::string::npos)
+        parseError(line, "work value must be 'fraction @ intensity', "
+                         "got '" + value + "'");
+    std::string frac_text = trim(value.substr(0, at));
+    std::string int_text = trim(value.substr(at + 1));
+    char *end = nullptr;
+    double fraction = std::strtod(frac_text.c_str(), &end);
+    if (end == frac_text.c_str() || !trim(end).empty())
+        parseError(line, "bad fraction '" + frac_text + "'");
+    double intensity;
+    if (toLower(int_text) == "inf") {
+        intensity = std::numeric_limits<double>::infinity();
+    } else {
+        end = nullptr;
+        intensity = std::strtod(int_text.c_str(), &end);
+        if (end == int_text.c_str() || !trim(end).empty())
+            parseError(line, "bad intensity '" + int_text + "'");
+    }
+    return IpWork{fraction, intensity};
+}
+
+struct PendingIp {
+    std::string name;
+    std::optional<double> accel;
+    std::optional<double> bandwidth;
+    int line;
+};
+
+struct PendingUsecase {
+    std::string name;
+    std::vector<std::pair<std::string, IpWork>> work;
+    int line;
+};
+
+} // namespace
+
+SocConfig
+parseSocConfig(const std::string &text)
+{
+    enum class Section { None, Soc, Ip, Usecase };
+
+    Section section = Section::None;
+    std::string soc_name = "unnamed";
+    std::optional<double> ppeak, bpeak;
+    bool saw_soc = false;
+    std::vector<PendingIp> ips;
+    std::vector<PendingUsecase> usecases;
+
+    std::istringstream iss(text);
+    std::string raw;
+    int line_no = 0;
+    while (std::getline(iss, raw)) {
+        ++line_no;
+        std::string line = trim(stripComment(raw));
+        if (line.empty())
+            continue;
+
+        if (line.front() == '[') {
+            if (line.back() != ']')
+                parseError(line_no, "unterminated section header");
+            std::string header = trim(line.substr(1, line.size() - 2));
+            if (header == "soc") {
+                if (saw_soc)
+                    parseError(line_no, "duplicate [soc] section");
+                saw_soc = true;
+                section = Section::Soc;
+            } else if (startsWith(header, "ip ")) {
+                std::string name = trim(header.substr(3));
+                if (name.empty())
+                    parseError(line_no, "[ip] needs a name");
+                for (const PendingIp &ip : ips) {
+                    if (ip.name == name)
+                        parseError(line_no,
+                                   "duplicate IP '" + name + "'");
+                }
+                ips.push_back(PendingIp{name, {}, {}, line_no});
+                section = Section::Ip;
+            } else if (startsWith(header, "usecase ")) {
+                std::string name = trim(header.substr(8));
+                if (name.empty())
+                    parseError(line_no, "[usecase] needs a name");
+                usecases.push_back(PendingUsecase{name, {}, line_no});
+                section = Section::Usecase;
+            } else {
+                parseError(line_no,
+                           "unknown section '[" + header + "]'");
+            }
+            continue;
+        }
+
+        size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            parseError(line_no, "expected 'key = value'");
+        std::string key = trim(line.substr(0, eq));
+        std::string value = trim(line.substr(eq + 1));
+        if (key.empty() || value.empty())
+            parseError(line_no, "empty key or value");
+
+        switch (section) {
+          case Section::None:
+            parseError(line_no, "key outside any section");
+          case Section::Soc:
+            if (key == "name")
+                soc_name = value;
+            else if (key == "ppeak")
+                ppeak = parseRate(value);
+            else if (key == "bpeak")
+                bpeak = parseRate(value);
+            else
+                parseError(line_no, "unknown [soc] key '" + key + "'");
+            break;
+          case Section::Ip:
+            if (key == "accel") {
+                char *end = nullptr;
+                ips.back().accel = std::strtod(value.c_str(), &end);
+                if (end == value.c_str() || !trim(end).empty())
+                    parseError(line_no, "bad accel '" + value + "'");
+            } else if (key == "bandwidth") {
+                ips.back().bandwidth = parseRate(value);
+            } else {
+                parseError(line_no, "unknown [ip] key '" + key + "'");
+            }
+            break;
+          case Section::Usecase:
+            for (const auto &[ip, work] : usecases.back().work) {
+                if (ip == key)
+                    parseError(line_no, "duplicate work entry for '" +
+                                            key + "'");
+            }
+            usecases.back().work.emplace_back(key,
+                                              parseWork(value,
+                                                        line_no));
+            break;
+        }
+    }
+
+    if (!saw_soc)
+        fatal("config is missing the [soc] section");
+    if (!ppeak)
+        fatal("config [soc] is missing 'ppeak'");
+    if (!bpeak)
+        fatal("config [soc] is missing 'bpeak'");
+    if (ips.empty())
+        fatal("config declares no [ip ...] sections");
+
+    std::vector<IpSpec> specs;
+    for (const PendingIp &ip : ips) {
+        if (!ip.accel)
+            parseError(ip.line, "IP '" + ip.name +
+                                    "' is missing 'accel'");
+        if (!ip.bandwidth)
+            parseError(ip.line, "IP '" + ip.name +
+                                    "' is missing 'bandwidth'");
+        specs.push_back(IpSpec{ip.name, *ip.accel, *ip.bandwidth});
+    }
+    SocSpec soc(soc_name, *ppeak, *bpeak, std::move(specs));
+
+    std::vector<Usecase> built;
+    for (const PendingUsecase &pu : usecases) {
+        std::vector<IpWork> work(soc.numIps(), IpWork{0.0, 1.0});
+        for (const auto &[ip_name, w] : pu.work) {
+            size_t idx;
+            try {
+                idx = soc.ipIndex(ip_name);
+            } catch (const FatalError &) {
+                parseError(pu.line, "usecase '" + pu.name +
+                                        "' names unknown IP '" +
+                                        ip_name + "'");
+            }
+            work[idx] = w;
+        }
+        built.emplace_back(pu.name, std::move(work));
+    }
+    return SocConfig{std::move(soc), std::move(built)};
+}
+
+SocConfig
+loadSocConfig(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open config file '" + path + "'");
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return parseSocConfig(oss.str());
+}
+
+std::string
+formatSocConfig(const SocSpec &soc,
+                const std::vector<Usecase> &usecases)
+{
+    std::ostringstream oss;
+    oss << "[soc]\n"
+        << "name  = " << soc.name() << '\n'
+        << "ppeak = " << formatDouble(soc.ppeak(), 6) << '\n'
+        << "bpeak = " << formatDouble(soc.bpeak(), 6) << '\n';
+    for (const IpSpec &ip : soc.ips()) {
+        oss << "\n[ip " << ip.name << "]\n"
+            << "accel     = " << formatDouble(ip.acceleration, 9)
+            << '\n'
+            << "bandwidth = " << formatDouble(ip.bandwidth, 6) << '\n';
+    }
+    for (const Usecase &u : usecases) {
+        if (u.numIps() != soc.numIps())
+            fatal("formatSocConfig: usecase '" + u.name() +
+                  "' does not match the SoC");
+        oss << "\n[usecase " << u.name() << "]\n";
+        for (size_t i = 0; i < u.numIps(); ++i) {
+            const IpWork &w = u.at(i);
+            if (w.fraction == 0.0)
+                continue;
+            oss << soc.ip(i).name << " = "
+                << formatDouble(w.fraction, 9) << " @ "
+                << (std::isinf(w.intensity)
+                        ? std::string("inf")
+                        : formatDouble(w.intensity, 9))
+                << '\n';
+        }
+    }
+    return oss.str();
+}
+
+} // namespace gables

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * A plain-text description format for SoCs and usecases, so designs
+ * can be written down, versioned, and fed to the `gables` CLI
+ * without recompiling — the counterpart of the paper's interactive
+ * visualizer inputs.
+ *
+ * Format (INI-flavoured):
+ *
+ * @code
+ *   [soc]
+ *   name  = paper two-IP
+ *   ppeak = 40 Gops/s
+ *   bpeak = 10 GB/s
+ *
+ *   [ip CPU]
+ *   accel     = 1
+ *   bandwidth = 6 GB/s
+ *
+ *   [ip GPU]
+ *   accel     = 5
+ *   bandwidth = 15 GB/s
+ *
+ *   [usecase 6b]
+ *   CPU = 0.25 @ 8
+ *   GPU = 0.75 @ 0.1
+ * @endcode
+ *
+ * Rules: one `[soc]` section (required); `[ip NAME]` sections in
+ * declaration order (IP[0] first, accel must be 1); any number of
+ * `[usecase NAME]` sections whose keys are IP names and values are
+ * `fraction @ intensity` (intensity may be `inf`; omitted IPs get
+ * fraction 0). `#` and `;` start comments. Rates accept the unit
+ * suffixes of parseRate().
+ */
+
+#ifndef GABLES_SOC_CONFIG_H
+#define GABLES_SOC_CONFIG_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/soc_spec.h"
+#include "core/usecase.h"
+
+namespace gables {
+
+/** A parsed configuration: one SoC and its usecases. */
+struct SocConfig {
+    /** The hardware description. */
+    SocSpec soc;
+    /** Usecases in file order, index-aligned with the SoC's IPs. */
+    std::vector<Usecase> usecases;
+
+    /** @return The usecase named @p name.
+     * @throws FatalError if absent. */
+    const Usecase &usecase(const std::string &name) const;
+};
+
+/**
+ * Parse a configuration document.
+ *
+ * @param text The document text.
+ * @return The parsed configuration.
+ * @throws FatalError with a line-numbered message on any syntax or
+ *         semantic error.
+ */
+SocConfig parseSocConfig(const std::string &text);
+
+/**
+ * Load and parse a configuration file.
+ *
+ * @param path Filesystem path.
+ * @throws FatalError if the file cannot be read or parsed.
+ */
+SocConfig loadSocConfig(const std::string &path);
+
+/**
+ * Serialize a SoC and usecases back to the text format (round-trips
+ * through parseSocConfig).
+ */
+std::string formatSocConfig(const SocSpec &soc,
+                            const std::vector<Usecase> &usecases);
+
+} // namespace gables
+
+#endif // GABLES_SOC_CONFIG_H

@@ -1,0 +1,162 @@
+#include "soc/dataflow.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "util/logging.h"
+
+namespace gables {
+
+DataflowGraph::DataflowGraph(std::string name) : name_(std::move(name)) {}
+
+void
+DataflowGraph::addStage(const std::string &ip, double ops_per_frame)
+{
+    if (ip.empty())
+        fatal("dataflow stage needs an IP name");
+    if (!(ops_per_frame >= 0.0))
+        fatal("dataflow stage ops/frame must be >= 0");
+    for (DataflowStage &s : stages_) {
+        if (s.ip == ip) {
+            s.opsPerFrame += ops_per_frame;
+            return;
+        }
+    }
+    stages_.push_back({ip, ops_per_frame});
+}
+
+void
+DataflowGraph::addBuffer(const std::string &producer,
+                         const std::string &consumer,
+                         double bytes_per_frame,
+                         const std::string &label)
+{
+    if (!(bytes_per_frame > 0.0))
+        fatal("dataflow buffer bytes/frame must be > 0");
+    if (producer.empty() && consumer.empty())
+        fatal("dataflow buffer needs at least one on-chip endpoint");
+    buffers_.push_back({producer, consumer, bytes_per_frame, label});
+}
+
+double
+DataflowGraph::opsPerFrame() const
+{
+    double ops = 0.0;
+    for (const DataflowStage &s : stages_)
+        ops += s.opsPerFrame;
+    return ops;
+}
+
+double
+DataflowGraph::ipBytesPerFrame(const std::string &ip) const
+{
+    double bytes = 0.0;
+    for (const DataflowBuffer &b : buffers_) {
+        if (b.producer == ip)
+            bytes += b.bytesPerFrame;
+        if (b.consumer == ip)
+            bytes += b.bytesPerFrame;
+    }
+    return bytes;
+}
+
+double
+DataflowGraph::dramBytesPerFrame() const
+{
+    double bytes = 0.0;
+    for (const DataflowBuffer &b : buffers_)
+        bytes += 2.0 * b.bytesPerFrame; // one write + one read
+    return bytes;
+}
+
+bool
+DataflowGraph::usesIp(const std::string &ip) const
+{
+    for (const DataflowStage &s : stages_) {
+        if (s.ip == ip)
+            return true;
+    }
+    for (const DataflowBuffer &b : buffers_) {
+        if (b.producer == ip || b.consumer == ip)
+            return true;
+    }
+    return false;
+}
+
+std::vector<std::string>
+DataflowGraph::activeIps() const
+{
+    std::vector<std::string> out;
+    std::set<std::string> seen;
+    auto add = [&](const std::string &ip) {
+        if (!ip.empty() && seen.insert(ip).second)
+            out.push_back(ip);
+    };
+    for (const DataflowStage &s : stages_)
+        add(s.ip);
+    for (const DataflowBuffer &b : buffers_) {
+        add(b.producer);
+        add(b.consumer);
+    }
+    return out;
+}
+
+Usecase
+DataflowGraph::toUsecase(const SocSpec &soc) const
+{
+    double total_ops = opsPerFrame();
+    if (!(total_ops > 0.0))
+        fatal("dataflow '" + name_ + "' has no work to lower");
+
+    std::vector<IpWork> work(soc.numIps(), IpWork{0.0, 1.0});
+    for (const DataflowStage &s : stages_) {
+        size_t i = soc.ipIndex(s.ip); // fatal if absent
+        double bytes = ipBytesPerFrame(s.ip);
+        work[i].fraction = s.opsPerFrame / total_ops;
+        work[i].intensity =
+            bytes > 0.0 ? s.opsPerFrame / bytes
+                        : std::numeric_limits<double>::infinity();
+    }
+    return Usecase(name_, std::move(work));
+}
+
+DataflowAnalysis
+DataflowGraph::analyze(const SocSpec &soc) const
+{
+    if (stages_.empty())
+        fatal("dataflow '" + name_ + "' has no stages to analyze");
+    DataflowAnalysis analysis;
+    analysis.ipTimes.assign(soc.numIps(), 0.0);
+
+    double max_time = 0.0;
+    for (const DataflowStage &s : stages_) {
+        size_t i = soc.ipIndex(s.ip);
+        double compute = s.opsPerFrame / soc.ipPeakPerf(i);
+        double transfer = ipBytesPerFrame(s.ip) / soc.ip(i).bandwidth;
+        double t = std::max(compute, transfer);
+        analysis.ipTimes[i] = t;
+        if (t > max_time) {
+            max_time = t;
+            analysis.bottleneckIp = static_cast<int>(i);
+            analysis.bottleneck = compute >= transfer
+                                      ? BottleneckKind::IpCompute
+                                      : BottleneckKind::IpBandwidth;
+        }
+    }
+
+    analysis.dramBytesPerFrame = dramBytesPerFrame();
+    analysis.memoryTime = analysis.dramBytesPerFrame / soc.bpeak();
+    if (analysis.memoryTime >= max_time) {
+        max_time = analysis.memoryTime;
+        analysis.bottleneckIp = -1;
+        analysis.bottleneck = BottleneckKind::Memory;
+    }
+
+    GABLES_ASSERT(max_time > 0.0, "dataflow has zero frame time");
+    analysis.maxFps = 1.0 / max_time;
+    return analysis;
+}
+
+} // namespace gables

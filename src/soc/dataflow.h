@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Usecase dataflow graphs (paper Section II-B, Figure 4): stages of
+ * per-frame processing mapped onto IPs, connected by DRAM-resident
+ * buffers (the base Gables assumption that all substantial inter-IP
+ * communication goes through memory). A graph lowers to Gables
+ * parameters — work fractions and per-IP operational intensities —
+ * and supports direct frame-rate analysis.
+ */
+
+#ifndef GABLES_SOC_DATAFLOW_H
+#define GABLES_SOC_DATAFLOW_H
+
+#include <string>
+#include <vector>
+
+#include "core/gables.h"
+#include "core/soc_spec.h"
+#include "core/usecase.h"
+
+namespace gables {
+
+/** One processing stage, bound to an IP by name. */
+struct DataflowStage {
+    /** IP name; must exist in the SocSpec used for analysis. */
+    std::string ip;
+    /** Operations this stage performs per frame. */
+    double opsPerFrame = 0.0;
+};
+
+/**
+ * A DRAM-resident buffer between stages. Producer and consumer are
+ * IP names; either may be empty to denote an off-chip endpoint
+ * (camera sensor, network, display panel) whose side of the
+ * transfer is a DMA that consumes DRAM bandwidth but no IP link.
+ */
+struct DataflowBuffer {
+    /** Producing IP name, or "" for an external source. */
+    std::string producer;
+    /** Consuming IP name, or "" for an external sink. */
+    std::string consumer;
+    /** Bytes written (and read) per frame. */
+    double bytesPerFrame = 0.0;
+    /** Display label, e.g. "YUV frame". */
+    std::string label;
+};
+
+/** Frame-rate analysis of a dataflow on a SoC. */
+struct DataflowAnalysis {
+    /** Maximum sustainable frame rate (frames/s). */
+    double maxFps = 0.0;
+    /** Index into the SoC's IPs of the binding IP, or -1 for the
+     * memory interface. */
+    int bottleneckIp = -1;
+    /** The kind of resource that binds. */
+    BottleneckKind bottleneck = BottleneckKind::Memory;
+    /** Per-IP frame time contributions (s/frame). */
+    std::vector<double> ipTimes;
+    /** Memory-interface frame time (s/frame). */
+    double memoryTime = 0.0;
+    /** Total DRAM traffic per frame (bytes), DMA included. */
+    double dramBytesPerFrame = 0.0;
+};
+
+/**
+ * A per-frame dataflow graph for one usecase.
+ */
+class DataflowGraph
+{
+  public:
+    /** @param name Display name, e.g. "Videocapture (HFR)". */
+    explicit DataflowGraph(std::string name);
+
+    /** @return Display name. */
+    const std::string &name() const { return name_; }
+
+    /**
+     * Add a processing stage. Repeated stages on the same IP
+     * accumulate.
+     */
+    void addStage(const std::string &ip, double ops_per_frame);
+
+    /** Add a buffer; see DataflowBuffer for endpoint conventions. */
+    void addBuffer(const std::string &producer,
+                   const std::string &consumer, double bytes_per_frame,
+                   const std::string &label = "");
+
+    /** @return All stages in insertion order. */
+    const std::vector<DataflowStage> &stages() const { return stages_; }
+
+    /** @return All buffers in insertion order. */
+    const std::vector<DataflowBuffer> &buffers() const
+    {
+        return buffers_;
+    }
+
+    /** @return Total operations per frame across stages. */
+    double opsPerFrame() const;
+
+    /**
+     * @return Bytes per frame moving through IP @p ip's link: every
+     * buffer write it produces plus every read it consumes.
+     */
+    double ipBytesPerFrame(const std::string &ip) const;
+
+    /**
+     * @return Total DRAM bytes per frame: each buffer is written
+     * once and read once (producer DMA and consumer DMA count even
+     * when external).
+     */
+    double dramBytesPerFrame() const;
+
+    /** @return True if IP @p ip has a stage or touches a buffer. */
+    bool usesIp(const std::string &ip) const;
+
+    /** @return Names of all IPs the usecase exercises. */
+    std::vector<std::string> activeIps() const;
+
+    /**
+     * Lower to a Gables usecase against @p soc: fi is the stage's
+     * share of total ops; Ii = (IP ops) / (IP link bytes), +inf for
+     * stages that touch no buffer. External DMA traffic is not
+     * attributable to any IP under base Gables and is therefore
+     * dropped here — use analyze() when that traffic matters.
+     *
+     * @throws FatalError if a stage names an IP absent from the SoC.
+     */
+    Usecase toUsecase(const SocSpec &soc) const;
+
+    /**
+     * Direct frame-rate bottleneck analysis (Gables arithmetic in
+     * frame units, with external DMA charged to the memory
+     * interface).
+     */
+    DataflowAnalysis analyze(const SocSpec &soc) const;
+
+  private:
+    std::string name_;
+    std::vector<DataflowStage> stages_;
+    std::vector<DataflowBuffer> buffers_;
+};
+
+} // namespace gables
+
+#endif // GABLES_SOC_DATAFLOW_H

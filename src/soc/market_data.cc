@@ -1,0 +1,63 @@
+#include "soc/market_data.h"
+
+namespace gables {
+
+const std::vector<YearCount> &
+MarketData::chipsetsPerYear()
+{
+    // Shape-faithful reconstruction of Figure 2a: steady growth from
+    // 2007, a peak around 2015, then decline as vendors exit the
+    // low-margin market (TI OMAP, Intel) and consolidate offerings
+    // (Qualcomm: 49 chipsets in 2014 -> 27 in 2017).
+    static const std::vector<YearCount> data = {
+        {2007, 12},  {2008, 19},  {2009, 28},  {2010, 45},
+        {2011, 70},  {2012, 95},  {2013, 118}, {2014, 135},
+        {2015, 146}, {2016, 120}, {2017, 92},
+    };
+    return data;
+}
+
+const std::vector<YearCount> &
+MarketData::ipBlocksPerGeneration()
+{
+    // Shape-faithful reconstruction of Figure 2b (after Shao et al.,
+    // "The Aladdin Approach"): specialized IP blocks per SoC
+    // generation climbing past 30.
+    static const std::vector<YearCount> data = {
+        {1, 9}, {2, 13}, {3, 18}, {4, 22}, {5, 25},
+        {6, 28}, {7, 31}, {8, 34},
+    };
+    return data;
+}
+
+int
+MarketData::peakChipsetYear()
+{
+    int year = 0;
+    double best = -1.0;
+    for (const YearCount &yc : chipsetsPerYear()) {
+        if (yc.count > best) {
+            best = yc.count;
+            year = yc.year;
+        }
+    }
+    return year;
+}
+
+bool
+MarketData::declinesAfterPeak()
+{
+    const auto &data = chipsetsPerYear();
+    int peak = peakChipsetYear();
+    double last = -1.0;
+    for (const YearCount &yc : data) {
+        if (yc.year < peak)
+            continue;
+        if (last >= 0.0 && yc.count >= last)
+            return false;
+        last = yc.count;
+    }
+    return true;
+}
+
+} // namespace gables

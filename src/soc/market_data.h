@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The motivational datasets behind paper Figure 2, reconstructed
+ * from the paper's description: (a) new mobile SoC chipsets
+ * introduced per year, mined from GSMArena (9165 phone models, 109
+ * brands; rise to a ~2015 peak then consolidation-driven decline);
+ * (b) IP-block counts per SoC generation from Shao et al., climbing
+ * past 30. The exact per-year values are not printed in the paper,
+ * so these series are shape-faithful reconstructions (documented in
+ * DESIGN.md).
+ */
+
+#ifndef GABLES_SOC_MARKET_DATA_H
+#define GABLES_SOC_MARKET_DATA_H
+
+#include <vector>
+
+namespace gables {
+
+/** One (year, count) observation. */
+struct YearCount {
+    int year;
+    double count;
+};
+
+/**
+ * Accessors for the embedded Figure 2 datasets.
+ */
+class MarketData
+{
+  public:
+    /** Figure 2a: new SoC chipsets per year, 2007-2017. */
+    static const std::vector<YearCount> &chipsetsPerYear();
+
+    /** Figure 2b: IP blocks per SoC generation (generation index
+     * starts at 1). */
+    static const std::vector<YearCount> &ipBlocksPerGeneration();
+
+    /** @return The year with the most chipset introductions. */
+    static int peakChipsetYear();
+
+    /** @return True if counts decline from the peak year onward
+     * (the consolidation the paper postulates). */
+    static bool declinesAfterPeak();
+};
+
+} // namespace gables
+
+#endif // GABLES_SOC_MARKET_DATA_H

@@ -1,0 +1,140 @@
+#include "util/arg_parser.h"
+
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace gables {
+
+ArgParser::ArgParser(std::string program, std::string synopsis)
+    : program_(std::move(program)), synopsis_(std::move(synopsis))
+{
+    addFlag("help", "show this help text");
+}
+
+void
+ArgParser::addOption(const std::string &name, const std::string &help,
+                     const std::string &def)
+{
+    specs_.emplace_back(name, Spec{help, def, false});
+}
+
+void
+ArgParser::addFlag(const std::string &name, const std::string &help)
+{
+    specs_.emplace_back(name, Spec{help, "", true});
+}
+
+const ArgParser::Spec *
+ArgParser::findSpec(const std::string &name) const
+{
+    for (const auto &[n, spec] : specs_) {
+        if (n == name)
+            return &spec;
+    }
+    return nullptr;
+}
+
+bool
+ArgParser::parse(int argc, const char *const *argv, std::ostream &err)
+{
+    bool options_done = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (options_done || !startsWith(arg, "--")) {
+            pos_.push_back(arg);
+            continue;
+        }
+        if (arg == "--") {
+            options_done = true;
+            continue;
+        }
+        std::string body = arg.substr(2);
+        std::string name = body;
+        std::optional<std::string> inline_value;
+        size_t eq = body.find('=');
+        if (eq != std::string::npos) {
+            name = body.substr(0, eq);
+            inline_value = body.substr(eq + 1);
+        }
+        const Spec *spec = findSpec(name);
+        if (!spec) {
+            err << program_ << ": unknown option --" << name << "\n"
+                << usage();
+            return false;
+        }
+        if (spec->isFlag) {
+            if (inline_value) {
+                err << program_ << ": flag --" << name
+                    << " does not take a value\n";
+                return false;
+            }
+            values_[name] = "1";
+        } else if (inline_value) {
+            values_[name] = *inline_value;
+        } else {
+            if (i + 1 >= argc) {
+                err << program_ << ": option --" << name
+                    << " requires a value\n";
+                return false;
+            }
+            values_[name] = argv[++i];
+        }
+    }
+    if (has("help")) {
+        err << usage();
+        return false;
+    }
+    return true;
+}
+
+bool
+ArgParser::has(const std::string &name) const
+{
+    return values_.count(name) > 0;
+}
+
+std::string
+ArgParser::getString(const std::string &name, const std::string &def) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? def : it->second;
+}
+
+double
+ArgParser::getDouble(const std::string &name, double def) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    return std::strtod(it->second.c_str(), nullptr);
+}
+
+long
+ArgParser::getInt(const std::string &name, long def) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    return std::strtol(it->second.c_str(), nullptr, 10);
+}
+
+std::string
+ArgParser::usage() const
+{
+    std::ostringstream oss;
+    oss << "usage: " << program_ << " [options]\n  " << synopsis_
+        << "\n\noptions:\n";
+    for (const auto &[name, spec] : specs_) {
+        std::string left = "  --" + name + (spec.isFlag ? "" : " <value>");
+        oss << padRight(left, 28) << spec.help;
+        if (!spec.def.empty())
+            oss << " (default: " << spec.def << ")";
+        oss << '\n';
+    }
+    return oss.str();
+}
+
+} // namespace gables

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A small command-line argument parser for the `gables` CLI and the
+ * bench harness binaries. Supports `--flag`, `--name value`,
+ * `--name=value`, typed accessors with defaults, positional
+ * arguments, and generated usage text.
+ */
+
+#ifndef GABLES_UTIL_ARG_PARSER_H
+#define GABLES_UTIL_ARG_PARSER_H
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gables {
+
+/**
+ * Declarative option table + parse result in one object.
+ */
+class ArgParser
+{
+  public:
+    /**
+     * @param program  Program name for usage text.
+     * @param synopsis One-line description of the tool.
+     */
+    ArgParser(std::string program, std::string synopsis);
+
+    /**
+     * Declare a value option.
+     *
+     * @param name      Long name without dashes, e.g. "bpeak".
+     * @param help      Help text.
+     * @param def       Default value rendered in usage (informational).
+     */
+    void addOption(const std::string &name, const std::string &help,
+                   const std::string &def = "");
+
+    /** Declare a boolean flag (present/absent). */
+    void addFlag(const std::string &name, const std::string &help);
+
+    /**
+     * Parse argv. Unknown options are an error; "--" ends option
+     * processing.
+     *
+     * @return True on success; false if parsing failed or --help was
+     *         requested (usage is printed to the given stream).
+     */
+    bool parse(int argc, const char *const *argv, std::ostream &err);
+
+    /** @return True if the flag or option @p name was supplied. */
+    bool has(const std::string &name) const;
+
+    /** @return String value of option @p name, or @p def. */
+    std::string getString(const std::string &name,
+                          const std::string &def = "") const;
+
+    /** @return Double value of option @p name, or @p def. */
+    double getDouble(const std::string &name, double def) const;
+
+    /** @return Integer value of option @p name, or @p def. */
+    long getInt(const std::string &name, long def) const;
+
+    /** @return Positional (non-option) arguments in order. */
+    const std::vector<std::string> &positional() const { return pos_; }
+
+    /** @return Generated usage text. */
+    std::string usage() const;
+
+  private:
+    struct Spec {
+        std::string help;
+        std::string def;
+        bool isFlag;
+    };
+
+    std::string program_;
+    std::string synopsis_;
+    std::vector<std::pair<std::string, Spec>> specs_;
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> pos_;
+
+    const Spec *findSpec(const std::string &name) const;
+};
+
+} // namespace gables
+
+#endif // GABLES_UTIL_ARG_PARSER_H

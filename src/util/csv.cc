@@ -1,0 +1,87 @@
+#include "util/csv.h"
+
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace gables {
+
+std::string
+CsvWriter::escape(const std::string &field)
+{
+    bool needs_quotes = field.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quotes)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    for (size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << escape(cells[i]);
+    }
+    out_ << '\n';
+}
+
+void
+CsvWriter::writeRow(const std::vector<double> &cells)
+{
+    std::vector<std::string> text;
+    text.reserve(cells.size());
+    for (double v : cells)
+        text.push_back(formatDouble(v, 9));
+    writeRow(text);
+}
+
+std::vector<std::vector<std::string>>
+parseCsv(const std::string &text)
+{
+    std::vector<std::vector<std::string>> rows;
+    std::istringstream iss(text);
+    std::string line;
+    while (std::getline(iss, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        std::vector<std::string> fields;
+        std::string field;
+        bool in_quotes = false;
+        for (size_t i = 0; i < line.size(); ++i) {
+            char c = line[i];
+            if (in_quotes) {
+                if (c == '"') {
+                    if (i + 1 < line.size() && line[i + 1] == '"') {
+                        field += '"';
+                        ++i;
+                    } else {
+                        in_quotes = false;
+                    }
+                } else {
+                    field += c;
+                }
+            } else if (c == '"') {
+                in_quotes = true;
+            } else if (c == ',') {
+                fields.push_back(field);
+                field.clear();
+            } else {
+                field += c;
+            }
+        }
+        fields.push_back(field);
+        rows.push_back(std::move(fields));
+    }
+    return rows;
+}
+
+} // namespace gables

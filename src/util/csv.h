@@ -1,0 +1,50 @@
+/**
+ * @file
+ * CSV writing (for bench output that downstream plotting can ingest)
+ * and minimal CSV reading (for embedded datasets in tests).
+ */
+
+#ifndef GABLES_UTIL_CSV_H
+#define GABLES_UTIL_CSV_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gables {
+
+/**
+ * Streaming CSV writer with RFC-4180 quoting of fields that contain
+ * commas, quotes, or newlines.
+ */
+class CsvWriter
+{
+  public:
+    /** Write rows to @p out; the stream must outlive the writer. */
+    explicit CsvWriter(std::ostream &out) : out_(out) {}
+
+    /** Write one row of string cells. */
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** Write one row of numeric cells. */
+    void writeRow(const std::vector<double> &cells);
+
+  private:
+    static std::string escape(const std::string &field);
+
+    std::ostream &out_;
+};
+
+/**
+ * Parse CSV text into rows of fields. Handles quoted fields with
+ * embedded commas and doubled quotes; does not handle embedded
+ * newlines inside quotes (none of our data needs them).
+ *
+ * @param text Full CSV document.
+ * @return Rows of unescaped fields.
+ */
+std::vector<std::vector<std::string>> parseCsv(const std::string &text);
+
+} // namespace gables
+
+#endif // GABLES_UTIL_CSV_H

@@ -1,0 +1,231 @@
+#include "util/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace gables {
+
+JsonWriter::JsonWriter(std::ostream &out, bool pretty)
+    : out_(out), pretty_(pretty)
+{}
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::indent()
+{
+    if (!pretty_)
+        return;
+    out_ << '\n';
+    for (size_t i = 0; i < stack_.size(); ++i)
+        out_ << "  ";
+}
+
+void
+JsonWriter::beforeValue()
+{
+    GABLES_ASSERT(!doneRoot, "write after JSON root closed");
+    if (stack_.empty())
+        return;
+    if (stack_.back() == Ctx::Object) {
+        GABLES_ASSERT(pendingKey, "object value requires a key first");
+        pendingKey = false;
+        return;
+    }
+    // Array item.
+    if (hasItems_.back())
+        out_ << ',';
+    hasItems_.back() = true;
+    indent();
+}
+
+void
+JsonWriter::beginObject()
+{
+    beforeValue();
+    out_ << '{';
+    stack_.push_back(Ctx::Object);
+    hasItems_.push_back(false);
+}
+
+void
+JsonWriter::endObject()
+{
+    GABLES_ASSERT(!stack_.empty() && stack_.back() == Ctx::Object,
+                  "endObject with no open object");
+    GABLES_ASSERT(!pendingKey, "endObject with dangling key");
+    bool had = hasItems_.back();
+    stack_.pop_back();
+    hasItems_.pop_back();
+    if (had)
+        indent();
+    out_ << '}';
+    if (stack_.empty()) {
+        doneRoot = true;
+        if (pretty_)
+            out_ << '\n';
+    }
+}
+
+void
+JsonWriter::beginArray()
+{
+    beforeValue();
+    out_ << '[';
+    stack_.push_back(Ctx::Array);
+    hasItems_.push_back(false);
+}
+
+void
+JsonWriter::endArray()
+{
+    GABLES_ASSERT(!stack_.empty() && stack_.back() == Ctx::Array,
+                  "endArray with no open array");
+    bool had = hasItems_.back();
+    stack_.pop_back();
+    hasItems_.pop_back();
+    if (had)
+        indent();
+    out_ << ']';
+    if (stack_.empty()) {
+        doneRoot = true;
+        if (pretty_)
+            out_ << '\n';
+    }
+}
+
+void
+JsonWriter::key(const std::string &name)
+{
+    GABLES_ASSERT(!stack_.empty() && stack_.back() == Ctx::Object,
+                  "key() outside an object");
+    GABLES_ASSERT(!pendingKey, "two keys in a row");
+    if (hasItems_.back())
+        out_ << ',';
+    hasItems_.back() = true;
+    indent();
+    out_ << '"' << escape(name) << "\":";
+    if (pretty_)
+        out_ << ' ';
+    pendingKey = true;
+}
+
+void
+JsonWriter::value(const std::string &v)
+{
+    beforeValue();
+    out_ << '"' << escape(v) << '"';
+    if (stack_.empty())
+        doneRoot = true;
+}
+
+void
+JsonWriter::value(const char *v)
+{
+    value(std::string(v));
+}
+
+void
+JsonWriter::value(double v)
+{
+    beforeValue();
+    if (std::isnan(v) || std::isinf(v)) {
+        // JSON has no NaN/Inf; emit null, which downstream tools treat
+        // as a gap.
+        out_ << "null";
+    } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        // Prefer a shorter form when it round-trips.
+        char short_buf[32];
+        std::snprintf(short_buf, sizeof(short_buf), "%.12g", v);
+        double back = 0.0;
+        std::sscanf(short_buf, "%lf", &back);
+        out_ << (back == v ? short_buf : buf);
+    }
+    if (stack_.empty())
+        doneRoot = true;
+}
+
+void
+JsonWriter::value(int v)
+{
+    beforeValue();
+    out_ << v;
+    if (stack_.empty())
+        doneRoot = true;
+}
+
+void
+JsonWriter::value(long v)
+{
+    beforeValue();
+    out_ << v;
+    if (stack_.empty())
+        doneRoot = true;
+}
+
+void
+JsonWriter::value(size_t v)
+{
+    beforeValue();
+    out_ << v;
+    if (stack_.empty())
+        doneRoot = true;
+}
+
+void
+JsonWriter::value(bool v)
+{
+    beforeValue();
+    out_ << (v ? "true" : "false");
+    if (stack_.empty())
+        doneRoot = true;
+}
+
+void
+JsonWriter::valueNull()
+{
+    beforeValue();
+    out_ << "null";
+    if (stack_.empty())
+        doneRoot = true;
+}
+
+void
+JsonWriter::numberArray(const std::string &name,
+                        const std::vector<double> &values)
+{
+    key(name);
+    beginArray();
+    for (double v : values)
+        value(v);
+    endArray();
+}
+
+} // namespace gables

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Minimal streaming JSON writer — enough to emit model results and
+ * sweep series for external tooling (the paper's interactive
+ * visualizer consumes exactly this kind of structure). No parsing, no
+ * DOM; just a correct, ordered writer with proper string escaping and
+ * shortest-faithful number formatting.
+ */
+
+#ifndef GABLES_UTIL_JSON_WRITER_H
+#define GABLES_UTIL_JSON_WRITER_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gables {
+
+/**
+ * Streaming JSON writer with an explicit begin/end nesting API.
+ *
+ * The writer validates nesting with an internal stack and panics on
+ * misuse (writing a bare value inside an object without a key, or
+ * unbalanced begin/end).
+ */
+class JsonWriter
+{
+  public:
+    /** Write JSON to @p out; the stream must outlive the writer. */
+    explicit JsonWriter(std::ostream &out, bool pretty = true);
+
+    /** Begin the root or a nested object. */
+    void beginObject();
+    /** End the current object. */
+    void endObject();
+    /** Begin the root or a nested array. */
+    void beginArray();
+    /** End the current array. */
+    void endArray();
+
+    /** Emit a key inside an object; must be followed by a value. */
+    void key(const std::string &name);
+
+    /** @name Value emitters (object values after key(), or array items). */
+    /** @{ */
+    void value(const std::string &v);
+    void value(const char *v);
+    void value(double v);
+    void value(int v);
+    void value(long v);
+    void value(size_t v);
+    void value(bool v);
+    void valueNull();
+    /** @} */
+
+    /** Convenience: key() then value(). */
+    template <typename T>
+    void
+    kv(const std::string &name, const T &v)
+    {
+        key(name);
+        value(v);
+    }
+
+    /** Emit a whole numeric array under @p name. */
+    void numberArray(const std::string &name,
+                     const std::vector<double> &values);
+
+    /** @return True once the root value has been closed. */
+    bool done() const { return doneRoot; }
+
+  private:
+    enum class Ctx { Object, Array };
+
+    void beforeValue();
+    void indent();
+    static std::string escape(const std::string &s);
+
+    std::ostream &out_;
+    bool pretty_;
+    std::vector<Ctx> stack_;
+    std::vector<bool> hasItems_;
+    bool pendingKey = false;
+    bool doneRoot = false;
+};
+
+} // namespace gables
+
+#endif // GABLES_UTIL_JSON_WRITER_H

@@ -1,0 +1,79 @@
+#include "util/logging.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace gables {
+
+namespace {
+
+LogLevel g_level = LogLevel::Info;
+std::ostream *g_sink = nullptr;
+
+std::ostream &
+sink()
+{
+    return g_sink ? *g_sink : std::cerr;
+}
+
+void
+emit(LogLevel level, const char *tag, const std::string &msg)
+{
+    if (static_cast<int>(level) < static_cast<int>(g_level))
+        return;
+    sink() << tag << msg << '\n';
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+setLogSink(std::ostream *sink_stream)
+{
+    g_sink = sink_stream;
+}
+
+void
+debug(const std::string &msg)
+{
+    emit(LogLevel::Debug, "debug: ", msg);
+}
+
+void
+inform(const std::string &msg)
+{
+    emit(LogLevel::Info, "info: ", msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    emit(LogLevel::Warn, "warn: ", msg);
+}
+
+void
+fatal(const std::string &msg)
+{
+    emit(LogLevel::Error, "fatal: ", msg);
+    throw FatalError(msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    sink() << "panic: " << msg << std::endl;
+    std::abort();
+}
+
+} // namespace gables

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Logging and error-reporting primitives for the Gables library.
+ *
+ * Follows the gem5 discipline: inform() for status, warn() for suspect
+ * but survivable conditions, fatal() for user errors that prevent
+ * continuing, and panic() for internal invariant violations (library
+ * bugs). fatal() throws so callers and tests can observe it; panic()
+ * aborts.
+ */
+
+#ifndef GABLES_UTIL_LOGGING_H
+#define GABLES_UTIL_LOGGING_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gables {
+
+/** Severity of a log message. */
+enum class LogLevel {
+    Debug,
+    Info,
+    Warn,
+    Error,
+};
+
+/**
+ * Error thrown by fatal() — a user-correctable problem such as a
+ * malformed SoC specification or an out-of-range usecase parameter.
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {}
+};
+
+/**
+ * Set the minimum level that reaches the log sink.
+ *
+ * @param level Messages below this severity are suppressed.
+ */
+void setLogLevel(LogLevel level);
+
+/** @return The current minimum log level. */
+LogLevel logLevel();
+
+/**
+ * Redirect log output to a string buffer for testing; pass nullptr to
+ * restore stderr.
+ *
+ * @param sink Stream that receives subsequent log lines, or nullptr.
+ */
+void setLogSink(std::ostream *sink);
+
+/** Emit an informational status message. */
+void inform(const std::string &msg);
+
+/** Emit a debug message (suppressed unless level is Debug). */
+void debug(const std::string &msg);
+
+/**
+ * Emit a warning: something may be mis-modeled but execution can
+ * continue.
+ */
+void warn(const std::string &msg);
+
+/**
+ * Report a user-correctable error and abort the operation by throwing
+ * FatalError.
+ *
+ * @param msg Description of the problem and how to fix it.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/**
+ * Report an internal invariant violation (a library bug) and abort the
+ * process.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Assert an internal invariant; on failure, panic with location info.
+ */
+#define GABLES_ASSERT(cond, msg)                                          \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            std::ostringstream oss_;                                      \
+            oss_ << "assertion '" #cond "' failed at " << __FILE__ << ':' \
+                 << __LINE__ << ": " << (msg);                            \
+            ::gables::panic(oss_.str());                                  \
+        }                                                                 \
+    } while (0)
+
+} // namespace gables
+
+#endif // GABLES_UTIL_LOGGING_H

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Numeric helpers used throughout the model and analysis code:
+ * weighted harmonic means (the memory-roofline intensity of Gables
+ * Eq. 7/13), approximate comparison, log-scale tick generation, and
+ * simple interpolation/root-finding utilities.
+ */
+
+#ifndef GABLES_UTIL_MATH_UTIL_H
+#define GABLES_UTIL_MATH_UTIL_H
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace gables {
+
+/**
+ * Weighted harmonic mean: 1 / sum(w_i / x_i), with sum(w_i) assumed
+ * to be 1. Terms with w_i == 0 are skipped (their x_i may be
+ * arbitrary, matching the f_i = 0 convention of Gables). An x_i of 0
+ * with positive weight yields 0.
+ *
+ * @param weights Non-negative weights summing to ~1.
+ * @param values  Strictly positive values (where weighted).
+ */
+double weightedHarmonicMean(const std::vector<double> &weights,
+                            const std::vector<double> &values);
+
+/**
+ * Relative approximate equality: |a-b| <= tol * max(|a|,|b|,1).
+ */
+bool approxEqual(double a, double b, double tol = 1e-9);
+
+/** Relative error |a-b| / max(|b|, eps); b is the reference value. */
+double relativeError(double a, double b, double eps = 1e-300);
+
+/**
+ * Generate logarithmically spaced points from @p lo to @p hi
+ * inclusive.
+ *
+ * @param lo    Positive lower bound.
+ * @param hi    Positive upper bound, > lo.
+ * @param count Number of points (>= 2).
+ */
+std::vector<double> logspace(double lo, double hi, size_t count);
+
+/** Generate linearly spaced points from @p lo to @p hi inclusive. */
+std::vector<double> linspace(double lo, double hi, size_t count);
+
+/**
+ * Powers-of-ten tick positions covering [lo, hi] for log axes.
+ * Returns 10^k for every integer k with 10^k within (or bracketing)
+ * the range.
+ */
+std::vector<double> logTicks(double lo, double hi);
+
+/**
+ * Bisection root finder for a monotone function on [lo, hi].
+ *
+ * @param fn    Continuous function with fn(lo) and fn(hi) of opposite
+ *              sign (or zero).
+ * @param lo    Lower bracket.
+ * @param hi    Upper bracket.
+ * @param tol   Absolute tolerance on the bracket width.
+ * @param max_iter Iteration cap.
+ * @return Approximate root.
+ */
+double bisect(const std::function<double(double)> &fn, double lo,
+              double hi, double tol = 1e-12, int max_iter = 200);
+
+/**
+ * Golden-section maximizer for a unimodal function on [lo, hi].
+ *
+ * @return The argmax (approximate).
+ */
+double goldenSectionMax(const std::function<double(double)> &fn,
+                        double lo, double hi, double tol = 1e-10,
+                        int max_iter = 300);
+
+/** Clamp @p v into [lo, hi]. */
+double clamp(double v, double lo, double hi);
+
+} // namespace gables
+
+#endif // GABLES_UTIL_MATH_UTIL_H

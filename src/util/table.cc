@@ -1,0 +1,126 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace gables {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)),
+      aligns_(headers_.size(), Align::Right)
+{
+    GABLES_ASSERT(!headers_.empty(), "table needs at least one column");
+    if (!aligns_.empty())
+        aligns_[0] = Align::Left;
+}
+
+void
+TextTable::setAlign(size_t col, Align align)
+{
+    GABLES_ASSERT(col < aligns_.size(), "column index out of range");
+    aligns_[col] = align;
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        fatal("table row has " + std::to_string(cells.size()) +
+              " cells, expected " + std::to_string(headers_.size()));
+    rows_.push_back(std::move(cells));
+    ++dataRows;
+}
+
+void
+TextTable::addRule()
+{
+    rows_.push_back({});
+}
+
+namespace {
+
+std::vector<size_t>
+columnWidths(const std::vector<std::string> &headers,
+             const std::vector<std::vector<std::string>> &rows)
+{
+    std::vector<size_t> widths(headers.size());
+    for (size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const auto &row : rows) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+    return widths;
+}
+
+} // namespace
+
+std::string
+TextTable::render() const
+{
+    auto widths = columnWidths(headers_, rows_);
+    std::ostringstream oss;
+
+    auto emit_rule = [&]() {
+        for (size_t c = 0; c < widths.size(); ++c) {
+            oss << std::string(widths[c] + 2, '-');
+            if (c + 1 < widths.size())
+                oss << '+';
+        }
+        oss << '\n';
+    };
+
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell = c < cells.size() ? cells[c] : "";
+            oss << ' ';
+            if (aligns_[c] == Align::Left)
+                oss << padRight(cell, widths[c]);
+            else
+                oss << padLeft(cell, widths[c]);
+            oss << ' ';
+            if (c + 1 < widths.size())
+                oss << '|';
+        }
+        oss << '\n';
+    };
+
+    emit_row(headers_);
+    emit_rule();
+    for (const auto &row : rows_) {
+        if (row.empty())
+            emit_rule();
+        else
+            emit_row(row);
+    }
+    return oss.str();
+}
+
+std::string
+TextTable::renderMarkdown() const
+{
+    std::ostringstream oss;
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        oss << '|';
+        for (size_t c = 0; c < headers_.size(); ++c) {
+            const std::string &cell = c < cells.size() ? cells[c] : "";
+            oss << ' ' << cell << " |";
+        }
+        oss << '\n';
+    };
+    emit_row(headers_);
+    oss << '|';
+    for (size_t c = 0; c < headers_.size(); ++c)
+        oss << "---|";
+    oss << '\n';
+    for (const auto &row : rows_) {
+        if (!row.empty())
+            emit_row(row);
+    }
+    return oss.str();
+}
+
+} // namespace gables

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Plain-text table formatter used by benches and the CLI to print
+ * paper-style tables (e.g. Table I, the appendix walkthrough, and
+ * paper-vs-measured comparison rows).
+ */
+
+#ifndef GABLES_UTIL_TABLE_H
+#define GABLES_UTIL_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace gables {
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   TextTable t({"IP", "f", "I", "1/T"});
+ *   t.addRow({"CPU", "0.25", "8", "160"});
+ *   std::cout << t.render();
+ * @endcode
+ */
+class TextTable
+{
+  public:
+    /** Column alignment. */
+    enum class Align { Left, Right };
+
+    /** Construct with header labels; column count is fixed by them. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Set the alignment of column @p col (default Right). */
+    void setAlign(size_t col, Align align);
+
+    /**
+     * Append a data row; must have exactly as many cells as there are
+     * headers.
+     */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator rule at this position. */
+    void addRule();
+
+    /** @return Number of data rows added so far (rules excluded). */
+    size_t rowCount() const { return dataRows; }
+
+    /** Render the table to a string, one trailing newline included. */
+    std::string render() const;
+
+    /**
+     * Render as Markdown (pipes and a header rule), for dropping into
+     * EXPERIMENTS.md.
+     */
+    std::string renderMarkdown() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<Align> aligns_;
+    // Rows; an empty optional-like marker (empty vector) encodes a rule.
+    std::vector<std::vector<std::string>> rows_;
+    size_t dataRows = 0;
+};
+
+} // namespace gables
+
+#endif // GABLES_UTIL_TABLE_H

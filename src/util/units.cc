@@ -1,0 +1,190 @@
+#include "util/units.h"
+
+#include <array>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace gables {
+
+namespace {
+
+struct Prefix {
+    const char *name;
+    double scale;
+};
+
+/**
+ * Scale a value into the largest prefix with magnitude >= 1 and format
+ * it with the given unit suffix.
+ */
+std::string
+formatScaled(double value, const char *unit, int precision,
+             bool binary_prefixes)
+{
+    static constexpr std::array<Prefix, 5> decimal = {{
+        {"T", kTera}, {"G", kGiga}, {"M", kMega}, {"k", kKilo}, {"", 1.0}
+    }};
+    static constexpr std::array<Prefix, 4> binary = {{
+        {"Gi", kGiB}, {"Mi", kMiB}, {"Ki", kKiB}, {"", 1.0}
+    }};
+    static constexpr std::array<Prefix, 4> sub = {{
+        {"m", 1e-3}, {"u", 1e-6}, {"n", 1e-9}, {"p", 1e-12}
+    }};
+
+    std::ostringstream oss;
+    oss.precision(precision);
+    if (value == 0.0 || std::isnan(value) || std::isinf(value)) {
+        oss << value << ' ' << unit;
+        return oss.str();
+    }
+
+    double mag = std::fabs(value);
+    const char *prefix = "";
+    double scale = 1.0;
+    if (mag >= 1.0) {
+        if (binary_prefixes) {
+            for (const auto &p : binary) {
+                if (mag >= p.scale) {
+                    prefix = p.name;
+                    scale = p.scale;
+                    break;
+                }
+            }
+        } else {
+            for (const auto &p : decimal) {
+                if (mag >= p.scale) {
+                    prefix = p.name;
+                    scale = p.scale;
+                    break;
+                }
+            }
+        }
+    } else {
+        // Sub-unit magnitudes only make sense for decimal units.
+        for (const auto &p : sub) {
+            prefix = p.name;
+            scale = p.scale;
+            if (mag >= p.scale)
+                break;
+        }
+    }
+    oss << value / scale << ' ' << prefix << unit;
+    return oss.str();
+}
+
+} // namespace
+
+std::string
+formatOpsRate(double ops_per_sec, int precision)
+{
+    return formatScaled(ops_per_sec, "ops/s", precision, false);
+}
+
+std::string
+formatByteRate(double bytes_per_sec, int precision)
+{
+    return formatScaled(bytes_per_sec, "B/s", precision, false);
+}
+
+std::string
+formatBytes(double bytes, int precision)
+{
+    return formatScaled(bytes, "B", precision, true);
+}
+
+std::string
+formatSeconds(double seconds, int precision)
+{
+    return formatScaled(seconds, "s", precision, false);
+}
+
+namespace {
+
+/**
+ * Split "<number><ws><prefix+unit>" and return the numeric part scaled
+ * by the recognized prefix.
+ */
+double
+parseScaled(const std::string &text, bool size_mode)
+{
+    std::string s = trim(text);
+    if (s.empty())
+        fatal("cannot parse empty quantity string");
+
+    // Parse the leading number.
+    const char *begin = s.c_str();
+    char *end = nullptr;
+    double value = std::strtod(begin, &end);
+    if (end == begin)
+        fatal("cannot parse quantity '" + text + "': no leading number");
+
+    std::string unit = trim(std::string(end));
+    if (unit.empty())
+        return value;
+
+    double scale = 1.0;
+    // Binary prefixes: Ki, Mi, Gi (case-sensitive 'i').
+    if (unit.size() >= 2 && unit[1] == 'i') {
+        switch (unit[0]) {
+          case 'K': case 'k': scale = kKiB; break;
+          case 'M': scale = kMiB; break;
+          case 'G': scale = kGiB; break;
+          default:
+            fatal("unknown binary prefix in '" + text + "'");
+        }
+        unit = unit.substr(2);
+    } else {
+        switch (unit[0]) {
+          case 'k': case 'K':
+            scale = size_mode ? kKilo : kKilo;
+            unit = unit.substr(1);
+            break;
+          case 'M': scale = kMega; unit = unit.substr(1); break;
+          case 'G': scale = kGiga; unit = unit.substr(1); break;
+          case 'T': scale = kTera; unit = unit.substr(1); break;
+          default: break;
+        }
+    }
+
+    // Validate the residual unit tag, if any.
+    std::string low = toLower(unit);
+    if (!low.empty()) {
+        static const char *ok_rate[] = {
+            "ops/s", "ops/sec", "flops/s", "flops/sec", "flop/s",
+            "b/s", "bytes/s", "byte/s", "bytes/sec", "hz",
+        };
+        static const char *ok_size[] = {"b", "byte", "bytes"};
+        bool found = false;
+        if (size_mode) {
+            for (const char *u : ok_size)
+                found = found || (low == u);
+        } else {
+            for (const char *u : ok_rate)
+                found = found || (low == u);
+        }
+        if (!found)
+            fatal("unknown unit '" + unit + "' in '" + text + "'");
+    }
+    return value * scale;
+}
+
+} // namespace
+
+double
+parseRate(const std::string &text)
+{
+    return parseScaled(text, false);
+}
+
+double
+parseSize(const std::string &text)
+{
+    return parseScaled(text, true);
+}
+
+} // namespace gables

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the design-space explorer: enumeration, scoring by the
+ * worst usecase, cost model, and Pareto marking.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/explorer.h"
+#include "soc/catalog.h"
+#include "util/logging.h"
+
+namespace gables {
+namespace {
+
+CostModel
+simpleCost()
+{
+    CostModel cost;
+    cost.costPerAcceleration = 1.0;
+    cost.costPerBpeak = 1e-9; // one unit per GB/s
+    cost.costPerIpBandwidth = 0.0;
+    return cost;
+}
+
+TEST(CostModel, LinearInComponents)
+{
+    SocSpec soc = SocCatalog::paperTwoIp(); // A = 1 + 5, Bpeak = 10G
+    CostModel cost = simpleCost();
+    EXPECT_NEAR(cost.cost(soc), 6.0 + 10.0, 1e-9);
+    EXPECT_NEAR(cost.cost(soc.withBpeak(20e9)), 6.0 + 20.0, 1e-9);
+}
+
+TEST(Explorer, NoKnobsYieldsBaseOnly)
+{
+    SocSpec base = SocCatalog::paperTwoIp();
+    Usecase u = Usecase::twoIp("u", 0.75, 8.0, 8.0);
+    DesignExplorer ex(base, {u}, simpleCost());
+    auto candidates = ex.explore();
+    ASSERT_EQ(candidates.size(), 1u);
+    EXPECT_TRUE(candidates[0].pareto);
+    EXPECT_DOUBLE_EQ(candidates[0].minPerf,
+                     GablesModel::evaluate(base, u).attainable);
+}
+
+TEST(Explorer, CrossProductSize)
+{
+    SocSpec base = SocCatalog::paperTwoIp();
+    Usecase u = Usecase::twoIp("u", 0.75, 8.0, 8.0);
+    DesignExplorer ex(base, {u}, simpleCost());
+    ex.sweepBpeak({10e9, 20e9, 30e9});
+    ex.sweepAcceleration(1, {2.0, 5.0});
+    EXPECT_EQ(ex.explore().size(), 6u);
+}
+
+TEST(Explorer, ScoreIsWorstUsecase)
+{
+    SocSpec base = SocCatalog::paperTwoIpBalanced();
+    Usecase good = Usecase::twoIp("good", 0.75, 8.0, 8.0); // 160 G
+    Usecase bad = Usecase::twoIp("bad", 0.75, 8.0, 0.1);   // ~2.66 G
+    DesignExplorer ex(base, {good, bad}, simpleCost());
+    auto candidates = ex.explore();
+    ASSERT_EQ(candidates.size(), 1u);
+    EXPECT_DOUBLE_EQ(candidates[0].perUsecase[0], 160e9);
+    EXPECT_DOUBLE_EQ(candidates[0].minPerf,
+                     candidates[0].perUsecase[1]);
+    EXPECT_LT(candidates[0].minPerf, 3e9);
+}
+
+TEST(Explorer, DominatedDesignsNotPareto)
+{
+    // More Bpeak costs more; where it buys no performance the
+    // smaller design dominates.
+    SocSpec base = SocCatalog::paperTwoIp();
+    Usecase u = Usecase::twoIp("u", 0.75, 8.0, 8.0);
+    DesignExplorer ex(base, {u}, simpleCost());
+    ex.sweepBpeak({20e9, 40e9}); // both reach 160 Gops/s
+    auto candidates = ex.explore();
+    ASSERT_EQ(candidates.size(), 2u);
+    int pareto_count = 0;
+    for (const Candidate &c : candidates) {
+        if (c.pareto) {
+            ++pareto_count;
+            EXPECT_DOUBLE_EQ(c.soc.bpeak(), 20e9);
+        }
+    }
+    EXPECT_EQ(pareto_count, 1);
+}
+
+TEST(Explorer, FrontierSortedByCost)
+{
+    SocSpec base = SocCatalog::paperTwoIp();
+    Usecase u = Usecase::twoIp("u", 0.75, 8.0, 0.5);
+    DesignExplorer ex(base, {u}, simpleCost());
+    ex.sweepBpeak({5e9, 10e9, 20e9, 40e9});
+    ex.sweepAcceleration(1, {2.0, 5.0, 20.0});
+    auto frontier = DesignExplorer::frontier(ex.explore());
+    ASSERT_GE(frontier.size(), 2u);
+    for (size_t i = 1; i < frontier.size(); ++i) {
+        EXPECT_GE(frontier[i].cost, frontier[i - 1].cost);
+        // Along the frontier, more cost must buy more performance.
+        EXPECT_GT(frontier[i].minPerf, frontier[i - 1].minPerf);
+    }
+}
+
+TEST(Explorer, ResultsSortedByPerformance)
+{
+    SocSpec base = SocCatalog::paperTwoIp();
+    Usecase u = Usecase::twoIp("u", 0.75, 8.0, 0.5);
+    DesignExplorer ex(base, {u}, simpleCost());
+    ex.sweepBpeak({5e9, 40e9, 10e9});
+    auto candidates = ex.explore();
+    for (size_t i = 1; i < candidates.size(); ++i)
+        EXPECT_LE(candidates[i].minPerf, candidates[i - 1].minPerf);
+}
+
+TEST(Explorer, InvalidInputsRejected)
+{
+    SocSpec base = SocCatalog::paperTwoIp();
+    Usecase u = Usecase::twoIp("u", 0.5, 1.0, 1.0);
+    EXPECT_THROW(DesignExplorer(base, {}, simpleCost()), FatalError);
+
+    Usecase three("three", {IpWork{0.5, 1.0}, IpWork{0.25, 1.0},
+                            IpWork{0.25, 1.0}});
+    EXPECT_THROW(DesignExplorer(base, {three}, simpleCost()),
+                 FatalError);
+
+    DesignExplorer ex(base, {u}, simpleCost());
+    EXPECT_THROW(ex.sweepBpeak({}), FatalError);
+    EXPECT_THROW(ex.sweepAcceleration(0, {2.0}), FatalError);
+}
+
+} // namespace
+} // namespace gables

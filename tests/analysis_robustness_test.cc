@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for Monte-Carlo robustness analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/robustness.h"
+#include "soc/catalog.h"
+#include "util/logging.h"
+
+namespace gables {
+namespace {
+
+TEST(Robustness, DeterministicForFixedSeed)
+{
+    SocSpec soc = SocCatalog::paperTwoIpBalanced();
+    Usecase u = Usecase::twoIp("u", 0.75, 8.0, 8.0);
+    Robustness::Options opts;
+    opts.samples = 200;
+    opts.seed = 42;
+    RobustnessReport a = Robustness::analyze(soc, u, opts);
+    RobustnessReport b = Robustness::analyze(soc, u, opts);
+    EXPECT_DOUBLE_EQ(a.mean, b.mean);
+    EXPECT_DOUBLE_EQ(a.p5, b.p5);
+    EXPECT_DOUBLE_EQ(a.p95, b.p95);
+}
+
+TEST(Robustness, QuantilesOrdered)
+{
+    SocSpec soc = SocCatalog::snapdragon835();
+    Usecase u("u", {IpWork{0.2, 4.0}, IpWork{0.7, 8.0},
+                    IpWork{0.1, 1.0}});
+    RobustnessReport r = Robustness::analyze(soc, u);
+    EXPECT_LE(r.p5, r.p50);
+    EXPECT_LE(r.p50, r.p95);
+    EXPECT_GT(r.p5, 0.0);
+    EXPECT_EQ(r.samples, 1000);
+}
+
+TEST(Robustness, NoJitterCollapsesToNominal)
+{
+    SocSpec soc = SocCatalog::paperTwoIpBalanced();
+    Usecase u = Usecase::twoIp("u", 0.75, 8.0, 8.0);
+    Robustness::Options opts;
+    opts.samples = 50;
+    opts.intensityJitter = 1.0;
+    opts.fractionJitter = 1.0;
+    RobustnessReport r = Robustness::analyze(soc, u, opts);
+    EXPECT_NEAR(r.mean, r.nominal, r.nominal * 1e-12);
+    EXPECT_NEAR(r.p5, r.p95, r.nominal * 1e-12);
+}
+
+TEST(Robustness, BalancedDesignIsFragile)
+{
+    // Figure 6d sits at the intersection of all three rooflines:
+    // most perturbations knock it off the peak, so the median and
+    // mean fall visibly below nominal and the downside tail is deep
+    // (the cost of perfect balance). The upside tail is real too —
+    // jitter can land on a better work split — but small.
+    SocSpec soc = SocCatalog::paperTwoIpBalanced();
+    Usecase u = Usecase::twoIp("6d", 0.75, 8.0, 8.0);
+    RobustnessReport r = Robustness::analyze(soc, u);
+    EXPECT_DOUBLE_EQ(r.nominal, 160e9);
+    EXPECT_LT(r.p50, r.nominal * 0.9);
+    EXPECT_LT(r.mean, r.nominal * 0.9);
+    EXPECT_LT(r.p5, r.nominal * 0.6);  // deep downside
+    EXPECT_LT(r.p95, r.nominal * 1.5); // shallow upside
+}
+
+TEST(Robustness, TargetProbability)
+{
+    SocSpec soc = SocCatalog::paperTwoIpBalanced();
+    Usecase u = Usecase::twoIp("6d", 0.75, 8.0, 8.0);
+    Robustness::Options opts;
+    opts.samples = 500;
+    opts.target = 1e9; // trivially met
+    EXPECT_DOUBLE_EQ(
+        Robustness::analyze(soc, u, opts).meetsTargetProbability,
+        1.0);
+    opts.target = 500e9; // unreachable under any bounded jitter
+    EXPECT_DOUBLE_EQ(
+        Robustness::analyze(soc, u, opts).meetsTargetProbability,
+        0.0);
+    opts.target = 100e9; // sometimes met
+    double p = Robustness::analyze(soc, u, opts)
+                   .meetsTargetProbability;
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 1.0);
+}
+
+TEST(Robustness, BottleneckSharesSumToOne)
+{
+    SocSpec soc = SocCatalog::paperTwoIp();
+    Usecase u = Usecase::twoIp("6b", 0.75, 8.0, 0.1);
+    RobustnessReport r = Robustness::analyze(soc, u);
+    double sum = 0.0;
+    for (const auto &[ip, share] : r.bottleneckShare) {
+        EXPECT_GE(ip, -1);
+        EXPECT_LE(ip, 1);
+        sum += share;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    // Figure 6b is deep in memory-bound territory: the memory
+    // interface dominates even under jitter.
+    EXPECT_GT(r.bottleneckShare.at(-1), 0.5);
+}
+
+TEST(Robustness, IdleIpsStayIdle)
+{
+    SocSpec soc = SocCatalog::snapdragon835();
+    Usecase u("u", {IpWork{1.0, 8.0}, IpWork{0.0, 1.0},
+                    IpWork{0.0, 1.0}});
+    RobustnessReport r = Robustness::analyze(soc, u);
+    // With only the CPU active, the bottleneck is always IP 0 or
+    // memory, never the idle GPU/DSP.
+    for (const auto &[ip, share] : r.bottleneckShare)
+        EXPECT_TRUE(ip == 0 || ip == -1) << "ip " << ip;
+}
+
+TEST(Robustness, InvalidOptionsRejected)
+{
+    SocSpec soc = SocCatalog::paperTwoIp();
+    Usecase u = Usecase::twoIp("u", 0.5, 1.0, 1.0);
+    Robustness::Options opts;
+    opts.samples = 0;
+    EXPECT_THROW(Robustness::analyze(soc, u, opts), FatalError);
+    opts.samples = 10;
+    opts.intensityJitter = 0.5;
+    EXPECT_THROW(Robustness::analyze(soc, u, opts), FatalError);
+}
+
+} // namespace
+} // namespace gables

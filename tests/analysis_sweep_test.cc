@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the sweep drivers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/sweep.h"
+#include "soc/catalog.h"
+#include "util/logging.h"
+
+namespace gables {
+namespace {
+
+std::vector<double>
+eighths()
+{
+    std::vector<double> f;
+    for (int i = 0; i <= 8; ++i)
+        f.push_back(i / 8.0);
+    return f;
+}
+
+TEST(MixingSweep, NormalizedStartsAtOne)
+{
+    SocSpec soc = SocCatalog::snapdragon835();
+    Series s = Sweep::mixing(soc, 1.0, 1.0, eighths());
+    ASSERT_EQ(s.x.size(), 9u);
+    EXPECT_DOUBLE_EQ(s.x.front(), 0.0);
+    EXPECT_DOUBLE_EQ(s.y.front(), 1.0);
+}
+
+TEST(MixingSweep, HighIntensityApproachesAcceleration)
+{
+    // At I = 1024 everything is compute-bound; all work on the GPU
+    // gives the full A1 = 46.6x speedup in the model.
+    SocSpec soc = SocCatalog::snapdragon835();
+    Series s = Sweep::mixing(soc, 1024.0, 1024.0, {0.0, 1.0});
+    EXPECT_NEAR(s.y.back(), soc.ip(1).acceleration, 1e-9);
+}
+
+TEST(MixingSweep, UnnormalizedReturnsOpsRates)
+{
+    SocSpec soc = SocCatalog::snapdragon835();
+    Series s = Sweep::mixing(soc, 1024.0, 1024.0, {0.0}, false);
+    EXPECT_DOUBLE_EQ(s.y.front(), 7.5e9);
+}
+
+TEST(MixingSweep, RejectsBadInputs)
+{
+    SocSpec one("one", 1e9, 1e9, {IpSpec{"CPU", 1.0, 1e9}});
+    EXPECT_THROW(Sweep::mixing(one, 1.0, 1.0, {0.0}), FatalError);
+    SocSpec soc = SocCatalog::snapdragon835();
+    EXPECT_THROW(Sweep::mixing(soc, 1.0, 1.0, {1.5}), FatalError);
+}
+
+TEST(BpeakSweep, SaturatesOnceSufficient)
+{
+    SocSpec soc = SocCatalog::paperTwoIp();
+    Usecase u = Usecase::twoIp("u", 0.75, 8.0, 8.0);
+    Series s = Sweep::bpeak(soc, u, {5e9, 10e9, 20e9, 40e9, 80e9});
+    // Monotone nondecreasing...
+    for (size_t i = 1; i < s.y.size(); ++i)
+        EXPECT_GE(s.y[i], s.y[i - 1]);
+    // ...and flat beyond the sufficient 20 GB/s (Figure 6d).
+    EXPECT_DOUBLE_EQ(s.y[2], 160e9);
+    EXPECT_DOUBLE_EQ(s.y[4], 160e9);
+}
+
+TEST(IntensitySweep, ReproducesFigure6dMove)
+{
+    // Raising I1 from 0.1 to 8 on the 30 GB/s design lifts
+    // performance from 2 to 160 Gops/s? No: at Bpeak = 30 the memory
+    // bound at I1 = 8 allows min(160, 160, 30*8=240) = 160.
+    SocSpec soc = SocCatalog::paperTwoIp().withBpeak(30e9);
+    Usecase u = Usecase::twoIp("u", 0.75, 8.0, 0.1);
+    Series s = Sweep::intensity(soc, u, 1, {0.1, 8.0});
+    EXPECT_DOUBLE_EQ(s.y[0], 2e9);
+    EXPECT_DOUBLE_EQ(s.y[1], 160e9);
+}
+
+TEST(AccelerationSweep, SaturatesAtOtherBounds)
+{
+    SocSpec soc = SocCatalog::paperTwoIpBalanced();
+    Usecase u = Usecase::twoIp("u", 0.75, 8.0, 8.0);
+    Series s = Sweep::acceleration(soc, u, 1, {1.0, 5.0, 50.0, 500.0});
+    for (size_t i = 1; i < s.y.size(); ++i)
+        EXPECT_GE(s.y[i], s.y[i - 1]);
+    // Beyond A1 = 5 the link (B1 * I1 = 120/0.75 = 160) binds: more
+    // acceleration is the over-design the paper warns about.
+    EXPECT_DOUBLE_EQ(s.y[1], 160e9);
+    EXPECT_DOUBLE_EQ(s.y[3], 160e9);
+}
+
+TEST(AccelerationSweep, RefusesA0)
+{
+    SocSpec soc = SocCatalog::paperTwoIp();
+    Usecase u = Usecase::twoIp("u", 0.5, 1.0, 1.0);
+    EXPECT_THROW(Sweep::acceleration(soc, u, 0, {2.0}), FatalError);
+}
+
+TEST(IpBandwidthSweep, Monotone)
+{
+    SocSpec soc = SocCatalog::paperTwoIp();
+    Usecase u = Usecase::twoIp("u", 0.75, 8.0, 0.1);
+    Series s = Sweep::ipBandwidth(soc, u, 1,
+                                  {1e9, 5e9, 15e9, 50e9});
+    for (size_t i = 1; i < s.y.size(); ++i)
+        EXPECT_GE(s.y[i], s.y[i - 1]);
+}
+
+TEST(CustomSweep, AppliesCallback)
+{
+    Series s = Sweep::custom("squares", {1.0, 2.0, 3.0},
+                             [](double x) { return x * x; });
+    EXPECT_EQ(s.label, "squares");
+    EXPECT_DOUBLE_EQ(s.y[2], 9.0);
+}
+
+} // namespace
+} // namespace gables

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the combined extensions evaluator: reductions to the
+ * base model and to each single extension, plus the topological
+ * interplay (buses carry full traffic, memory carries filtered).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/combined.h"
+#include "soc/catalog.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace gables {
+namespace {
+
+TEST(Combined, NoExtensionsReducesToBase)
+{
+    SocSpec soc = SocCatalog::paperTwoIp();
+    Usecase u = Usecase::twoIp("6b", 0.75, 8.0, 0.1);
+    CombinedModel model;
+    CombinedResult r = model.evaluate(soc, u);
+    GablesResult base = GablesModel::evaluate(soc, u);
+    EXPECT_DOUBLE_EQ(r.attainable, base.attainable);
+    EXPECT_EQ(r.bottleneck, CombinedBottleneck::Memory);
+    EXPECT_TRUE(r.busTimes.empty());
+}
+
+TEST(Combined, MemsideOnlyMatchesExtension)
+{
+    SocSpec soc = SocCatalog::paperTwoIp();
+    Usecase u = Usecase::twoIp("6b", 0.75, 8.0, 0.1);
+    MemSideMemory memside({1.0, 0.25});
+    CombinedModel model;
+    model.setMemSide(memside);
+    EXPECT_DOUBLE_EQ(model.evaluate(soc, u).attainable,
+                     memside.evaluate(soc, u).attainable);
+}
+
+TEST(Combined, InterconnectOnlyMatchesExtension)
+{
+    SocSpec soc = SocCatalog::paperTwoIpBalanced();
+    Usecase u = Usecase::twoIp("u", 0.75, 8.0, 8.0);
+    InterconnectModel ic({BusSpec{"slow", 1e9}}, {{true}, {true}});
+    CombinedModel model;
+    model.setInterconnect(ic);
+    CombinedResult r = model.evaluate(soc, u);
+    EXPECT_DOUBLE_EQ(r.attainable,
+                     ic.evaluate(soc, u).base.attainable);
+    EXPECT_EQ(r.bottleneck, CombinedBottleneck::Bus);
+    EXPECT_EQ(r.bottleneckBus, 0);
+}
+
+TEST(Combined, SramDoesNotRelieveBuses)
+{
+    // The SRAM is memory-side: a perfect cache removes the memory
+    // term but the narrow bus still binds at the same value.
+    SocSpec soc = SocCatalog::paperTwoIpBalanced();
+    Usecase u = Usecase::twoIp("u", 0.75, 8.0, 8.0);
+    InterconnectModel ic({BusSpec{"slow", 1e9}}, {{true}, {true}});
+
+    CombinedModel bus_only;
+    bus_only.setInterconnect(ic);
+    double with_bus = bus_only.evaluate(soc, u).attainable;
+
+    CombinedModel both;
+    both.setInterconnect(ic);
+    both.setMemSide(MemSideMemory::uniform(2, 0.0));
+    CombinedResult r = both.evaluate(soc, u);
+    EXPECT_DOUBLE_EQ(r.attainable, with_bus);
+    EXPECT_EQ(r.bottleneck, CombinedBottleneck::Bus);
+    EXPECT_DOUBLE_EQ(r.memoryTime, 0.0);
+}
+
+TEST(Combined, SramRelievesMemoryBehindWideBuses)
+{
+    // Figure 6b with wide buses: memory binds at 1.33; a half-miss
+    // SRAM doubles the memory bound and the GPU link takes over.
+    SocSpec soc = SocCatalog::paperTwoIp();
+    Usecase u = Usecase::twoIp("6b", 0.75, 8.0, 0.1);
+    CombinedModel model;
+    model.setInterconnect(InterconnectModel({BusSpec{"wide", 1e15}},
+                                            {{true}, {true}}));
+    model.setMemSide(MemSideMemory::uniform(2, 0.5));
+    CombinedResult r = model.evaluate(soc, u);
+    EXPECT_DOUBLE_EQ(r.attainable, 2e9);
+    EXPECT_EQ(r.bottleneck, CombinedBottleneck::Ip);
+    EXPECT_EQ(r.bottleneckIp, 1);
+}
+
+TEST(Combined, BottleneckLabels)
+{
+    SocSpec soc = SocCatalog::paperTwoIp();
+    Usecase u = Usecase::twoIp("6b", 0.75, 8.0, 0.1);
+    InterconnectModel ic({BusSpec{"skinny", 1e8}}, {{true}, {true}});
+    CombinedModel model;
+    model.setInterconnect(ic);
+    CombinedResult r = model.evaluate(soc, u);
+    EXPECT_EQ(r.bottleneck, CombinedBottleneck::Bus);
+    EXPECT_EQ(r.bottleneckLabel(soc, model.interconnect()),
+              "bus 'skinny'");
+
+    CombinedModel base;
+    CombinedResult rb = base.evaluate(soc, u);
+    EXPECT_EQ(rb.bottleneckLabel(soc, nullptr),
+              "memory interface (Bpeak, post-SRAM)");
+}
+
+TEST(Combined, NeverExceedsAnySingleExtension)
+{
+    // The combined bound is the min over all terms, so it can never
+    // beat either extension alone (property over random inputs).
+    Rng rng(321);
+    SocSpec soc = SocCatalog::snapdragon835();
+    InterconnectModel ic = InterconnectModel::hierarchy(
+        {"hb", "sys"}, {40e9, 10e9}, {0, 0, 1}, 0.0);
+    for (int trial = 0; trial < 20; ++trial) {
+        auto f = rng.simplex(3);
+        Usecase u("r", {IpWork{f[0], rng.logUniform(0.1, 64.0)},
+                        IpWork{f[1], rng.logUniform(0.1, 64.0)},
+                        IpWork{f[2], rng.logUniform(0.1, 64.0)}});
+        MemSideMemory memside({rng.uniform(), rng.uniform(),
+                               rng.uniform()});
+        CombinedModel both;
+        both.setInterconnect(ic);
+        both.setMemSide(memside);
+        double combined = both.evaluate(soc, u).attainable;
+        EXPECT_LE(combined,
+                  memside.evaluate(soc, u).attainable * (1 + 1e-12));
+        EXPECT_LE(combined, ic.evaluate(soc, u).base.attainable *
+                                (1 + 1e-12));
+    }
+}
+
+TEST(Combined, MismatchedMemsideRejected)
+{
+    SocSpec soc = SocCatalog::paperTwoIp();
+    Usecase u = Usecase::twoIp("u", 0.5, 1.0, 1.0);
+    CombinedModel model;
+    model.setMemSide(MemSideMemory::uniform(3, 0.5));
+    EXPECT_THROW(model.evaluate(soc, u), FatalError);
+}
+
+} // namespace
+} // namespace gables

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Property-based tests of the Gables model over randomized SoCs and
+ * usecases (parameterized over seeds):
+ *
+ *  - duality: the time-form (Eqs. 9-11) and performance-form
+ *    (Eqs. 12-14) equations agree;
+ *  - monotonicity: performance never decreases when any hardware
+ *    resource (Ppeak, Bpeak, Ai, Bi) or any software intensity Ii
+ *    grows;
+ *  - bound consistency: Pattainable equals the minimum over the
+ *    scaled rooflines evaluated at their operating intensities;
+ *  - concurrency dominance: base (concurrent) Gables never loses to
+ *    the serialized extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/gables.h"
+#include "core/serialized.h"
+#include "util/rng.h"
+
+namespace gables {
+namespace {
+
+/** Draw a random but valid SoC with 1-6 IPs. */
+SocSpec
+randomSoc(Rng &rng)
+{
+    size_t n = static_cast<size_t>(rng.uniformInt(1, 6));
+    std::vector<IpSpec> ips;
+    for (size_t i = 0; i < n; ++i) {
+        IpSpec ip;
+        ip.name = "IP" + std::to_string(i);
+        ip.acceleration = i == 0 ? 1.0 : rng.logUniform(0.1, 100.0);
+        ip.bandwidth = rng.logUniform(1e9, 100e9);
+        ips.push_back(ip);
+    }
+    return SocSpec("random", rng.logUniform(1e9, 100e9),
+                   rng.logUniform(1e9, 100e9), std::move(ips));
+}
+
+/** Draw a random usecase over n IPs (some IPs may get ~no work). */
+Usecase
+randomUsecase(Rng &rng, size_t n)
+{
+    std::vector<double> f = rng.simplex(n);
+    std::vector<IpWork> work(n);
+    for (size_t i = 0; i < n; ++i)
+        work[i] = IpWork{f[i], rng.logUniform(0.01, 1024.0)};
+    return Usecase("random", std::move(work));
+}
+
+class GablesProperty : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(GablesProperty, TimeAndPerformanceFormsAgree)
+{
+    Rng rng(GetParam());
+    for (int trial = 0; trial < 50; ++trial) {
+        SocSpec soc = randomSoc(rng);
+        Usecase u = randomUsecase(rng, soc.numIps());
+        double time_form = GablesModel::evaluate(soc, u).attainable;
+        double perf_form = GablesModel::attainablePerfForm(soc, u);
+        EXPECT_NEAR(time_form / perf_form, 1.0, 1e-9)
+            << "seed " << GetParam() << " trial " << trial;
+    }
+}
+
+TEST_P(GablesProperty, MonotoneInBpeak)
+{
+    Rng rng(GetParam() ^ 0x1111);
+    for (int trial = 0; trial < 30; ++trial) {
+        SocSpec soc = randomSoc(rng);
+        Usecase u = randomUsecase(rng, soc.numIps());
+        double base = GablesModel::evaluate(soc, u).attainable;
+        double more = GablesModel::evaluate(soc.withBpeak(soc.bpeak() *
+                                                          2.0),
+                                            u)
+                          .attainable;
+        EXPECT_GE(more, base * (1.0 - 1e-12));
+    }
+}
+
+TEST_P(GablesProperty, MonotoneInPpeak)
+{
+    Rng rng(GetParam() ^ 0x2222);
+    for (int trial = 0; trial < 30; ++trial) {
+        SocSpec soc = randomSoc(rng);
+        Usecase u = randomUsecase(rng, soc.numIps());
+        double base = GablesModel::evaluate(soc, u).attainable;
+        SocSpec faster(soc.name(), soc.ppeak() * 2.0, soc.bpeak(),
+                       soc.ips());
+        double more = GablesModel::evaluate(faster, u).attainable;
+        EXPECT_GE(more, base * (1.0 - 1e-12));
+    }
+}
+
+TEST_P(GablesProperty, MonotoneInIpKnobs)
+{
+    Rng rng(GetParam() ^ 0x3333);
+    for (int trial = 0; trial < 30; ++trial) {
+        SocSpec soc = randomSoc(rng);
+        if (soc.numIps() < 2)
+            continue;
+        Usecase u = randomUsecase(rng, soc.numIps());
+        double base = GablesModel::evaluate(soc, u).attainable;
+        size_t ip = static_cast<size_t>(rng.uniformInt(
+            1, static_cast<int64_t>(soc.numIps()) - 1));
+        EXPECT_GE(GablesModel::evaluate(
+                      soc.withIpAcceleration(
+                          ip, soc.ip(ip).acceleration * 3.0),
+                      u)
+                      .attainable,
+                  base * (1.0 - 1e-12));
+        EXPECT_GE(GablesModel::evaluate(
+                      soc.withIpBandwidth(ip,
+                                          soc.ip(ip).bandwidth * 3.0),
+                      u)
+                      .attainable,
+                  base * (1.0 - 1e-12));
+    }
+}
+
+TEST_P(GablesProperty, MonotoneInIntensity)
+{
+    Rng rng(GetParam() ^ 0x4444);
+    for (int trial = 0; trial < 30; ++trial) {
+        SocSpec soc = randomSoc(rng);
+        Usecase u = randomUsecase(rng, soc.numIps());
+        double base = GablesModel::evaluate(soc, u).attainable;
+        size_t ip = static_cast<size_t>(rng.uniformInt(
+            0, static_cast<int64_t>(soc.numIps()) - 1));
+        Usecase better = u.withWork(
+            ip, IpWork{u.fraction(ip), u.intensity(ip) * 4.0});
+        EXPECT_GE(GablesModel::evaluate(soc, better).attainable,
+                  base * (1.0 - 1e-12));
+    }
+}
+
+TEST_P(GablesProperty, AttainableEqualsMinOfSelectedBounds)
+{
+    Rng rng(GetParam() ^ 0x5555);
+    for (int trial = 0; trial < 30; ++trial) {
+        SocSpec soc = randomSoc(rng);
+        Usecase u = randomUsecase(rng, soc.numIps());
+        GablesResult r = GablesModel::evaluate(soc, u);
+        double min_bound = r.memoryPerfBound;
+        for (size_t i = 0; i < soc.numIps(); ++i) {
+            double b = GablesModel::scaledIpRoofline(soc, u, i,
+                                                     u.intensity(i));
+            min_bound = std::min(min_bound, b);
+        }
+        EXPECT_NEAR(r.attainable / min_bound, 1.0, 1e-9);
+    }
+}
+
+TEST_P(GablesProperty, ConcurrentNeverLosesToSerialized)
+{
+    Rng rng(GetParam() ^ 0x6666);
+    for (int trial = 0; trial < 30; ++trial) {
+        SocSpec soc = randomSoc(rng);
+        Usecase u = randomUsecase(rng, soc.numIps());
+        double concurrent = GablesModel::evaluate(soc, u).attainable;
+        double serialized =
+            SerializedModel::evaluate(soc, u).attainable;
+        EXPECT_GE(concurrent, serialized * (1.0 - 1e-12));
+    }
+}
+
+TEST_P(GablesProperty, BottleneckResourceHasUnitElasticityLocally)
+{
+    // Growing the binding resource slightly must grow performance;
+    // growing a strictly-slack IP knob must not change it.
+    Rng rng(GetParam() ^ 0x7777);
+    for (int trial = 0; trial < 20; ++trial) {
+        SocSpec soc = randomSoc(rng);
+        Usecase u = randomUsecase(rng, soc.numIps());
+        GablesResult r = GablesModel::evaluate(soc, u);
+        if (r.bottleneckIp < 0) {
+            double grown = GablesModel::evaluate(
+                               soc.withBpeak(soc.bpeak() * 1.0001), u)
+                               .attainable;
+            EXPECT_GT(grown, r.attainable);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GablesProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u));
+
+} // namespace
+} // namespace gables

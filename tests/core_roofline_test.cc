@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for the single-IP Roofline model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/roofline.h"
+#include "util/logging.h"
+
+namespace gables {
+namespace {
+
+TEST(Roofline, BandwidthBoundRegion)
+{
+    Roofline r(40e9, 10e9);
+    EXPECT_DOUBLE_EQ(r.attainable(1.0), 10e9);
+    EXPECT_DOUBLE_EQ(r.attainable(2.0), 20e9);
+}
+
+TEST(Roofline, ComputeBoundRegion)
+{
+    Roofline r(40e9, 10e9);
+    EXPECT_DOUBLE_EQ(r.attainable(8.0), 40e9);
+    EXPECT_DOUBLE_EQ(r.attainable(1000.0), 40e9);
+}
+
+TEST(Roofline, RidgePoint)
+{
+    Roofline r(40e9, 10e9);
+    EXPECT_DOUBLE_EQ(r.ridgePoint(), 4.0);
+    // At the ridge both bounds agree.
+    EXPECT_DOUBLE_EQ(r.attainable(4.0), 40e9);
+    EXPECT_TRUE(r.computeBound(4.0));
+    EXPECT_FALSE(r.computeBound(3.999));
+}
+
+TEST(Roofline, ZeroIntensityGivesZero)
+{
+    Roofline r(40e9, 10e9);
+    EXPECT_DOUBLE_EQ(r.attainable(0.0), 0.0);
+}
+
+TEST(Roofline, InfiniteIntensityGivesPeak)
+{
+    Roofline r(40e9, 10e9);
+    EXPECT_DOUBLE_EQ(
+        r.attainable(std::numeric_limits<double>::infinity()), 40e9);
+}
+
+TEST(Roofline, NegativeIntensityRejected)
+{
+    Roofline r(40e9, 10e9);
+    EXPECT_THROW(r.attainable(-1.0), FatalError);
+}
+
+TEST(Roofline, InvalidConstruction)
+{
+    EXPECT_THROW(Roofline(0.0, 10e9), FatalError);
+    EXPECT_THROW(Roofline(40e9, 0.0), FatalError);
+    EXPECT_THROW(Roofline(-1.0, 10e9), FatalError);
+}
+
+TEST(Roofline, PaperCpuNumbers)
+{
+    // Figure 7a: CPU peak 7.5 GFLOPs/s, DRAM 15.1 GB/s.
+    Roofline cpu(7.5e9, 15.1e9, "CPU");
+    EXPECT_DOUBLE_EQ(cpu.attainable(0.25), 15.1e9 * 0.25);
+    EXPECT_DOUBLE_EQ(cpu.attainable(1.0), 7.5e9);
+    EXPECT_NEAR(cpu.ridgePoint(), 0.4967, 1e-3);
+}
+
+TEST(Roofline, PaperGpuNumbers)
+{
+    // Figure 7b: GPU 349.6 GFLOPs/s, DRAM 24.4 GB/s.
+    Roofline gpu(349.6e9, 24.4e9, "GPU");
+    EXPECT_NEAR(gpu.ridgePoint(), 14.33, 0.01);
+    EXPECT_DOUBLE_EQ(gpu.attainable(1.0), 24.4e9);
+    EXPECT_DOUBLE_EQ(gpu.attainable(100.0), 349.6e9);
+}
+
+TEST(Roofline, ComputeCeilingApplies)
+{
+    Roofline r(40e9, 10e9);
+    r.addComputeCeiling("no SIMD", 10e9);
+    EXPECT_DOUBLE_EQ(r.attainableWithCeilings(8.0), 10e9);
+    // The full roof ignores ceilings.
+    EXPECT_DOUBLE_EQ(r.attainable(8.0), 40e9);
+}
+
+TEST(Roofline, BandwidthCeilingApplies)
+{
+    Roofline r(40e9, 10e9);
+    r.addBandwidthCeiling("no prefetch", 5e9);
+    EXPECT_DOUBLE_EQ(r.attainableWithCeilings(1.0), 5e9);
+    EXPECT_DOUBLE_EQ(r.attainableWithCeilings(100.0), 40e9);
+}
+
+TEST(Roofline, LowestCeilingWins)
+{
+    Roofline r(40e9, 10e9);
+    r.addComputeCeiling("c1", 30e9);
+    r.addComputeCeiling("c2", 20e9);
+    EXPECT_DOUBLE_EQ(r.attainableWithCeilings(100.0), 20e9);
+    // Ceilings are kept sorted descending.
+    EXPECT_DOUBLE_EQ(r.computeCeilings().front().value, 30e9);
+    EXPECT_DOUBLE_EQ(r.computeCeilings().back().value, 20e9);
+}
+
+TEST(Roofline, CeilingAboveRoofRejected)
+{
+    Roofline r(40e9, 10e9);
+    EXPECT_THROW(r.addComputeCeiling("too high", 50e9), FatalError);
+    EXPECT_THROW(r.addBandwidthCeiling("too high", 20e9), FatalError);
+    EXPECT_THROW(r.addComputeCeiling("zero", 0.0), FatalError);
+}
+
+TEST(Roofline, CeilingsWithoutAnyAddedEqualRoof)
+{
+    Roofline r(40e9, 10e9);
+    for (double i : {0.1, 1.0, 4.0, 100.0})
+        EXPECT_DOUBLE_EQ(r.attainableWithCeilings(i), r.attainable(i));
+}
+
+} // namespace
+} // namespace gables

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Multi-IP cross-validation: realize random Gables SoCs as
+ * simulators (simFromSpec), run concurrent per-IP kernels matching a
+ * random usecase's fractions and intensities, and check the central
+ * claim — the analytic Pattainable is an upper bound the simulator
+ * approaches.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/gables.h"
+#include "sim/soc.h"
+#include "soc/catalog.h"
+#include "util/rng.h"
+
+namespace gables {
+namespace {
+
+/** Draw a random valid SoC with n IPs. */
+SocSpec
+randomSoc(Rng &rng, size_t n)
+{
+    std::vector<IpSpec> ips;
+    for (size_t i = 0; i < n; ++i) {
+        ips.push_back(
+            IpSpec{"IP" + std::to_string(i),
+                   i == 0 ? 1.0 : rng.logUniform(0.5, 30.0),
+                   rng.logUniform(4e9, 40e9)});
+    }
+    return SocSpec("random", rng.logUniform(2e9, 40e9),
+                   rng.logUniform(4e9, 40e9), std::move(ips));
+}
+
+/**
+ * Run the usecase on the realized simulator: total work W split
+ * fi*W at intensity Ii per engine, all concurrent.
+ *
+ * @return Aggregate ops/s (W / duration).
+ */
+double
+simulate(const SocSpec &spec, const Usecase &usecase, double total_ops)
+{
+    auto soc = SocCatalog::simFromSpec(spec);
+    std::vector<sim::SimSoc::JobSubmission> jobs;
+    for (size_t i = 0; i < spec.numIps(); ++i) {
+        double f = usecase.fraction(i);
+        if (f == 0.0)
+            continue;
+        sim::KernelJob job;
+        job.workingSetBytes = 64e6;
+        job.totalBytes = f * total_ops / usecase.intensity(i);
+        job.opsPerByte = usecase.intensity(i);
+        jobs.push_back({spec.ip(i).name, job});
+    }
+    sim::SocRunStats stats = soc->run(jobs);
+    return total_ops / stats.duration;
+}
+
+class MultiIpCrossCheck : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(MultiIpCrossCheck, ModelBoundsSimulator)
+{
+    Rng rng(GetParam());
+    for (int trial = 0; trial < 6; ++trial) {
+        size_t n = static_cast<size_t>(rng.uniformInt(2, 4));
+        SocSpec spec = randomSoc(rng, n);
+        // Fractions bounded away from zero so no engine's job is
+        // negligibly small (tiny jobs finish instantly and skew the
+        // aggregate-rate comparison).
+        std::vector<double> f = rng.simplex(n);
+        for (double &v : f)
+            v = 0.15 + 0.85 * v;
+        double sum = 0.0;
+        for (double v : f)
+            sum += v;
+        std::vector<IpWork> work(n);
+        for (size_t i = 0; i < n; ++i)
+            work[i] = IpWork{f[i] / sum, rng.logUniform(0.25, 16.0)};
+        Usecase usecase("mc", std::move(work));
+
+        double model =
+            GablesModel::evaluate(spec, usecase).attainable;
+        double sim_rate = simulate(spec, usecase, 256e6);
+
+        // Upper-bound property (small numerical slack only).
+        EXPECT_LE(sim_rate, model * 1.02)
+            << "seed " << GetParam() << " trial " << trial;
+        // And the bound is meaningful: the simulator achieves a
+        // large fraction of it despite real contention and
+        // straggling engines.
+        EXPECT_GE(sim_rate, model * 0.55)
+            << "seed " << GetParam() << " trial " << trial;
+    }
+}
+
+TEST_P(MultiIpCrossCheck, BalancedSplitsComeClose)
+{
+    // When the work split matches each IP's capacity (the optimal-
+    // split condition), every engine finishes together and the
+    // simulator lands within a few percent of the bound.
+    Rng rng(GetParam() ^ 0xABCD);
+    for (int trial = 0; trial < 4; ++trial) {
+        size_t n = static_cast<size_t>(rng.uniformInt(2, 3));
+        SocSpec spec = randomSoc(rng, n);
+        double intensity = rng.logUniform(16.0, 64.0);
+        // High intensity: compute-bound; split by peak so all
+        // engines finish together.
+        double total_peak = 0.0;
+        for (size_t i = 0; i < n; ++i)
+            total_peak += spec.ipPeakPerf(i);
+        std::vector<IpWork> work(n);
+        for (size_t i = 0; i < n; ++i)
+            work[i] =
+                IpWork{spec.ipPeakPerf(i) / total_peak, intensity};
+        Usecase usecase("balanced", std::move(work));
+
+        double model =
+            GablesModel::evaluate(spec, usecase).attainable;
+        double sim_rate = simulate(spec, usecase, 256e6);
+        EXPECT_LE(sim_rate, model * 1.02);
+        EXPECT_GE(sim_rate, model * 0.90)
+            << "seed " << GetParam() << " trial " << trial;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiIpCrossCheck,
+                         ::testing::Values(11u, 23u, 47u));
+
+TEST(SimFromSpec, EngineNamesAndRatesMatchSpec)
+{
+    SocSpec spec = SocCatalog::paperTwoIp();
+    auto soc = SocCatalog::simFromSpec(spec);
+    sim::KernelJob job;
+    job.workingSetBytes = 8e6;
+    job.totalBytes = 8e6;
+    job.opsPerByte = 1000.0; // compute bound
+    sim::SocRunStats stats = soc->run({{"GPU", job}});
+    // The GPU engine computes at A1 * Ppeak = 200 Gops/s.
+    EXPECT_NEAR(stats.engine("GPU").achievedOpsRate(), 200e9,
+                200e9 * 0.02);
+}
+
+TEST(SimFromSpec, StreamRateMatchesLink)
+{
+    SocSpec spec = SocCatalog::paperTwoIp();
+    auto soc = SocCatalog::simFromSpec(spec);
+    sim::KernelJob job;
+    job.workingSetBytes = 64e6;
+    job.totalBytes = 64e6;
+    job.opsPerByte = 0.01; // bandwidth bound
+    sim::SocRunStats stats = soc->run({{"CPU", job}});
+    // B0 = 6 GB/s is below Bpeak = 10 GB/s, so the link binds.
+    EXPECT_NEAR(stats.engine("CPU").achievedByteRate(), 6e9,
+                6e9 * 0.03);
+}
+
+} // namespace
+} // namespace gables

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the heatmap chart, including building the Figure 8
+ * mixing map from the model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/sweep.h"
+#include "plot/heatmap.h"
+#include "soc/catalog.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace gables {
+namespace {
+
+HeatmapPlot
+smallMap()
+{
+    HeatmapPlot map("test", "x", "y");
+    map.setGrid({"a", "b"}, {"lo", "hi"},
+                {{1.0, 2.0}, {3.0, 4.0}});
+    return map;
+}
+
+TEST(Heatmap, SvgContainsCellsAndLabels)
+{
+    std::string svg = smallMap().renderSvg();
+    EXPECT_NE(svg.find("<svg"), std::string::npos);
+    EXPECT_NE(svg.find("test"), std::string::npos);
+    EXPECT_NE(svg.find(">lo</text>"), std::string::npos);
+    EXPECT_NE(svg.find(">4</text>"), std::string::npos);
+    // 4 cells -> 4 filled rects beyond the background.
+    size_t rects = 0, pos = 0;
+    while ((pos = svg.find("<rect", pos)) != std::string::npos) {
+        ++rects;
+        ++pos;
+    }
+    EXPECT_GE(rects, 5u);
+}
+
+TEST(Heatmap, AsciiShadesMonotone)
+{
+    std::string ascii = smallMap().renderAscii();
+    EXPECT_NE(ascii.find("test"), std::string::npos);
+    // Lowest cell renders lighter than the highest.
+    EXPECT_NE(ascii.find(' '), std::string::npos);
+    EXPECT_NE(ascii.find('@'), std::string::npos);
+}
+
+TEST(Heatmap, GridValidation)
+{
+    HeatmapPlot map("bad", "x", "y");
+    EXPECT_THROW(map.setGrid({}, {"r"}, {{1.0}}), FatalError);
+    EXPECT_THROW(map.setGrid({"c"}, {"r"}, {{1.0, 2.0}}),
+                 FatalError);
+    EXPECT_THROW(map.setGrid({"c"}, {"r1", "r2"}, {{1.0}}),
+                 FatalError);
+    EXPECT_THROW(map.renderSvg(), FatalError);
+    EXPECT_THROW(map.renderAscii(), FatalError);
+}
+
+TEST(Heatmap, LogScaleHandlesWideRange)
+{
+    HeatmapPlot map("wide", "x", "y");
+    map.setGrid({"a", "b", "c"}, {"r"}, {{0.5, 10.0, 1000.0}});
+    map.setLogScale(true);
+    EXPECT_NO_THROW(map.renderSvg());
+    EXPECT_NO_THROW(map.renderAscii());
+}
+
+TEST(Heatmap, UniformGridDoesNotDivideByZero)
+{
+    HeatmapPlot map("flat", "x", "y");
+    map.setGrid({"a", "b"}, {"r"}, {{5.0, 5.0}});
+    EXPECT_NO_THROW(map.renderSvg());
+    map.setLogScale(true);
+    EXPECT_NO_THROW(map.renderAscii());
+}
+
+TEST(Heatmap, MixingMapFromModel)
+{
+    // Build the Figure 8 family as one map: rows = intensity, cols
+    // = fraction; values = normalized performance.
+    SocSpec soc = SocCatalog::snapdragon835();
+    std::vector<double> fractions = {0.0, 0.25, 0.5, 0.75, 1.0};
+    std::vector<double> intensities = {1.0, 16.0, 256.0};
+
+    std::vector<std::string> x_ticks, y_ticks;
+    for (double f : fractions)
+        x_ticks.push_back(formatDouble(f, 2));
+    std::vector<std::vector<double>> grid;
+    for (double i : intensities) {
+        y_ticks.push_back("I=" + formatDouble(i, 0));
+        grid.push_back(Sweep::mixing(soc, i, i, fractions).y);
+    }
+    HeatmapPlot map("mixing map", "fraction f at GPU", "intensity");
+    map.setGrid(x_ticks, y_ticks, grid);
+    map.setLogScale(true);
+    std::string svg = map.renderSvg();
+    EXPECT_NE(svg.find("mixing map"), std::string::npos);
+    // The top-right cell (high I, f=1) is the chip's acceleration.
+    EXPECT_NE(svg.find("46.6"), std::string::npos);
+}
+
+} // namespace
+} // namespace gables

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Behavioural tests of the simulated IP engine and SoC: the measured
+ * throughput must trace a roofline, contention must share bandwidth,
+ * and coordination overhead must charge the coordinator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/soc.h"
+#include "soc/catalog.h"
+#include "util/logging.h"
+#include "util/units.h"
+
+namespace gables {
+namespace sim {
+namespace {
+
+KernelJob
+job(double intensity, double total_mb = 64.0)
+{
+    KernelJob j;
+    j.workingSetBytes = total_mb * 1e6;
+    j.totalBytes = total_mb * 1e6;
+    j.opsPerByte = intensity;
+    return j;
+}
+
+TEST(Engine, ComputeBoundAtHighIntensity)
+{
+    auto soc = SocCatalog::simpleSim(10e9, 20e9, 40e9);
+    SocRunStats stats = soc->run({{"IP0", job(100.0)}});
+    EXPECT_NEAR(stats.engine("IP0").achievedOpsRate(), 10e9,
+                10e9 * 0.02);
+}
+
+TEST(Engine, BandwidthBoundAtLowIntensity)
+{
+    auto soc = SocCatalog::simpleSim(10e9, 20e9, 40e9);
+    SocRunStats stats = soc->run({{"IP0", job(0.1)}});
+    // Link (20 GB/s) is the narrowest hop: ops = 20e9 * 0.1 = 2e9.
+    EXPECT_NEAR(stats.engine("IP0").achievedOpsRate(), 2e9,
+                2e9 * 0.02);
+    EXPECT_NEAR(stats.engine("IP0").achievedByteRate(), 20e9,
+                20e9 * 0.02);
+}
+
+TEST(Engine, DramBoundWhenLinkWider)
+{
+    auto soc = SocCatalog::simpleSim(100e9, 80e9, 30e9);
+    SocRunStats stats = soc->run({{"IP0", job(0.1)}});
+    EXPECT_NEAR(stats.engine("IP0").achievedByteRate(), 30e9,
+                30e9 * 0.02);
+}
+
+TEST(Engine, RooflineKneeNearRidgePoint)
+{
+    auto soc = SocCatalog::simpleSim(10e9, 20e9, 40e9);
+    // Ridge = 10e9 / 20e9 = 0.5 ops/byte.
+    SocRunStats below = soc->run({{"IP0", job(0.25)}});
+    SocRunStats above = soc->run({{"IP0", job(1.0)}});
+    EXPECT_NEAR(below.engine("IP0").achievedOpsRate(), 5e9,
+                5e9 * 0.02);
+    EXPECT_NEAR(above.engine("IP0").achievedOpsRate(), 10e9,
+                10e9 * 0.02);
+}
+
+TEST(Engine, ThroughputMatchesRooflineAcrossIntensities)
+{
+    auto soc = SocCatalog::simpleSim(10e9, 20e9, 40e9);
+    for (double i : {0.05, 0.2, 0.5, 2.0, 8.0}) {
+        SocRunStats stats = soc->run({{"IP0", job(i)}});
+        double expected = std::min(10e9, 20e9 * i);
+        EXPECT_NEAR(stats.engine("IP0").achievedOpsRate(), expected,
+                    expected * 0.03)
+            << "intensity " << i;
+    }
+}
+
+TEST(Engine, DeterministicAcrossRuns)
+{
+    auto soc = SocCatalog::simpleSim(10e9, 20e9, 40e9);
+    SocRunStats a = soc->run({{"IP0", job(0.7)}});
+    SocRunStats b = soc->run({{"IP0", job(0.7)}});
+    EXPECT_DOUBLE_EQ(a.duration, b.duration);
+    EXPECT_DOUBLE_EQ(a.engine("IP0").ops, b.engine("IP0").ops);
+}
+
+TEST(Engine, ConservationOfBytes)
+{
+    auto soc = SocCatalog::simpleSim(10e9, 20e9, 40e9);
+    SocRunStats stats = soc->run({{"IP0", job(1.0, 16.0)}});
+    const EngineRunStats &e = stats.engine("IP0");
+    // No local memory on the simple SoC: all bytes miss to DRAM.
+    EXPECT_DOUBLE_EQ(e.bytes, e.missBytes);
+    EXPECT_DOUBLE_EQ(e.bytes, 16e6);
+    EXPECT_DOUBLE_EQ(stats.dramBytes, e.missBytes);
+    // Ops = bytes * intensity.
+    EXPECT_DOUBLE_EQ(e.ops, 16e6);
+}
+
+TEST(Engine, ContentionSharesDram)
+{
+    // Two identical engines on one 30 GB/s DRAM, each with a 25 GB/s
+    // link, streaming (I = 0.01, effectively pure bandwidth).
+    auto soc = std::make_unique<SimSoc>("pair");
+    soc->setDram(30e9, 100e-9);
+    BandwidthResource *fabric = soc->addFabric("f", 120e9, 20e-9);
+    for (const char *name : {"A", "B"}) {
+        IpEngineConfig cfg;
+        cfg.name = name;
+        cfg.opsPerSec = 100e9;
+        cfg.maxOutstanding = 8;
+        SimSoc::EngineAttachment at;
+        at.linkBandwidth = 25e9;
+        at.fabric = fabric;
+        soc->addEngine(cfg, at);
+    }
+    SocRunStats stats =
+        soc->run({{"A", job(0.01, 64.0)}, {"B", job(0.01, 64.0)}});
+    double rate_a = stats.engine("A").achievedMissRate();
+    double rate_b = stats.engine("B").achievedMissRate();
+    // Fair sharing: each gets about half of DRAM.
+    EXPECT_NEAR(rate_a, 15e9, 15e9 * 0.05);
+    EXPECT_NEAR(rate_b, 15e9, 15e9 * 0.05);
+    // Combined throughput saturates DRAM.
+    double combined = stats.dramBytes / stats.duration;
+    EXPECT_NEAR(combined, 30e9, 30e9 * 0.03);
+}
+
+TEST(Engine, LocalMemoryRaisesEffectiveBandwidth)
+{
+    auto soc = std::make_unique<SimSoc>("cached");
+    soc->setDram(30e9, 100e-9);
+    BandwidthResource *fabric = soc->addFabric("f", 120e9, 20e-9);
+    IpEngineConfig cfg;
+    cfg.name = "CPU";
+    cfg.opsPerSec = 1000e9; // never compute bound
+    SimSoc::EngineAttachment at;
+    at.linkBandwidth = 15e9;
+    at.fabric = fabric;
+    at.localCapacity = 2.0 * kMiB;
+    at.localBandwidth = 60e9;
+    soc->addEngine(cfg, at);
+
+    // Working set fits in the 2 MiB local memory: local bandwidth.
+    KernelJob small = job(0.01);
+    small.workingSetBytes = 1.0 * kMiB;
+    small.totalBytes = 64e6;
+    SocRunStats fits = soc->run({{"CPU", small}});
+    EXPECT_NEAR(fits.engine("CPU").achievedByteRate(), 60e9,
+                60e9 * 0.05);
+    EXPECT_DOUBLE_EQ(fits.engine("CPU").missBytes, 0.0);
+
+    // Working set far exceeds it: link bandwidth.
+    SocRunStats spills = soc->run({{"CPU", job(0.01, 64.0)}});
+    EXPECT_NEAR(spills.engine("CPU").achievedByteRate(), 15e9,
+                15e9 * 0.10);
+}
+
+TEST(Engine, CoordinationChargesCoordinator)
+{
+    auto soc = SocCatalog::snapdragon835Sim();
+    // GPU job with per-request coordination: the stream rate is
+    // capped by requestBytes / coordinationTime = 4096B / 1us
+    // ~ 4.1 GB/s, far below the 24.4 GB/s link.
+    KernelJob j = job(0.01, 64.0);
+    j.coordinationTime = 1e-6;
+    SocRunStats stats = soc->run({{"GPU", j}});
+    EXPECT_NEAR(stats.engine("GPU").achievedMissRate(), 4.1e9,
+                4.1e9 * 0.05);
+    // Without coordination the GPU streams at link rate.
+    SocRunStats free_run = soc->run({{"GPU", job(0.01, 64.0)}});
+    EXPECT_NEAR(free_run.engine("GPU").achievedMissRate(), 24.4e9,
+                24.4e9 * 0.05);
+}
+
+TEST(Engine, CoordinationRequiresWiredCoordinator)
+{
+    auto soc = SocCatalog::simpleSim(10e9, 20e9, 40e9);
+    KernelJob j = job(1.0);
+    j.coordinationTime = 1e-6;
+    EXPECT_THROW(soc->run({{"IP0", j}}), FatalError);
+}
+
+TEST(Engine, MemoryLevelParallelismCoversLatency)
+{
+    // Little's law in miniature: with one outstanding request and a
+    // long DRAM latency, the engine is latency-bound well below the
+    // bandwidth roofline; raising MLP recovers the full stream rate.
+    auto build = [](int mlp) {
+        auto soc = std::make_unique<SimSoc>("lat");
+        soc->setDram(30e9, 2e-6); // 2 us access latency
+        BandwidthResource *fabric =
+            soc->addFabric("f", 120e9, 20e-9);
+        IpEngineConfig cfg;
+        cfg.name = "X";
+        cfg.opsPerSec = 1000e9;
+        cfg.requestBytes = 4096.0;
+        cfg.maxOutstanding = mlp;
+        SimSoc::EngineAttachment at;
+        at.linkBandwidth = 25e9;
+        at.fabric = fabric;
+        soc->addEngine(cfg, at);
+        return soc;
+    };
+    KernelJob j = job(0.01, 32.0);
+
+    auto starved = build(1);
+    double rate_mlp1 =
+        starved->run({{"X", j}}).engine("X").achievedByteRate();
+    // ~one 4 KiB line per ~2.2 us round trip ~ 1.9 GB/s.
+    EXPECT_LT(rate_mlp1, 3e9);
+
+    auto covered = build(32);
+    double rate_mlp32 =
+        covered->run({{"X", j}}).engine("X").achievedByteRate();
+    EXPECT_NEAR(rate_mlp32, 25e9, 25e9 * 0.05);
+    EXPECT_GT(rate_mlp32, rate_mlp1 * 8.0);
+}
+
+TEST(Engine, RejectsBadJobs)
+{
+    auto soc = SocCatalog::simpleSim(10e9, 20e9, 40e9);
+    KernelJob bad = job(1.0);
+    bad.totalBytes = 0.0;
+    EXPECT_THROW(soc->run({{"IP0", bad}}), FatalError);
+    KernelJob bad2 = job(1.0);
+    bad2.opsPerByte = 0.0;
+    EXPECT_THROW(soc->run({{"IP0", bad2}}), FatalError);
+}
+
+} // namespace
+} // namespace sim
+} // namespace gables

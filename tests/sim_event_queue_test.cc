@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the discrete-event core.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "util/logging.h"
+
+namespace gables {
+namespace sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(3.0, [&] { order.push_back(3); });
+    eq.schedule(1.0, [&] { order.push_back(1); });
+    eq.schedule(2.0, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(eq.now(), 3.0);
+}
+
+TEST(EventQueue, FifoAmongSimultaneousEvents)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(1.0, [&order, i] { order.push_back(i); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CallbackMaySchedule)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1.0, [&] {
+        ++fired;
+        eq.schedule(2.0, [&] { ++fired; });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_DOUBLE_EQ(eq.now(), 2.0);
+}
+
+TEST(EventQueue, ScheduleAfterUsesNow)
+{
+    EventQueue eq;
+    double when = -1.0;
+    eq.schedule(5.0, [&] {
+        eq.scheduleAfter(2.5, [&] { when = eq.now(); });
+    });
+    eq.run();
+    EXPECT_DOUBLE_EQ(when, 7.5);
+}
+
+TEST(EventQueue, PastSchedulingRejected)
+{
+    EventQueue eq;
+    eq.schedule(5.0, [] {});
+    eq.run();
+    EXPECT_THROW(eq.schedule(1.0, [] {}), FatalError);
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1.0, [&] { ++fired; });
+    eq.schedule(10.0, [&] { ++fired; });
+    eq.runUntil(5.0);
+    EXPECT_EQ(fired, 1);
+    EXPECT_DOUBLE_EQ(eq.now(), 5.0);
+    EXPECT_FALSE(eq.empty());
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, EventCount)
+{
+    EventQueue eq;
+    for (int i = 0; i < 7; ++i)
+        eq.schedule(static_cast<double>(i), [] {});
+    eq.run();
+    EXPECT_EQ(eq.eventsExecuted(), 7u);
+}
+
+TEST(EventQueue, ResetClearsEverything)
+{
+    EventQueue eq;
+    eq.schedule(1.0, [] {});
+    eq.run();
+    eq.schedule(9.0, [] {});
+    eq.reset();
+    EXPECT_TRUE(eq.empty());
+    EXPECT_DOUBLE_EQ(eq.now(), 0.0);
+    EXPECT_EQ(eq.eventsExecuted(), 0u);
+    // Time zero is schedulable again after reset.
+    EXPECT_NO_THROW(eq.schedule(0.5, [] {}));
+}
+
+TEST(EventQueue, EmptyRunIsNoop)
+{
+    EventQueue eq;
+    EXPECT_DOUBLE_EQ(eq.run(), 0.0);
+    EXPECT_TRUE(eq.empty());
+}
+
+} // namespace
+} // namespace sim
+} // namespace gables

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests of SimSoc construction rules and run statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/soc.h"
+#include "soc/catalog.h"
+#include "util/logging.h"
+
+namespace gables {
+namespace sim {
+namespace {
+
+TEST(SimSoc, RequiresDramBeforeEngines)
+{
+    SimSoc soc("s");
+    IpEngineConfig cfg;
+    cfg.name = "X";
+    SimSoc::EngineAttachment at;
+    at.linkBandwidth = 1e9;
+    EXPECT_THROW(soc.addEngine(cfg, at), FatalError);
+}
+
+TEST(SimSoc, RejectsDoubleDram)
+{
+    SimSoc soc("s");
+    soc.setDram(10e9, 0.0);
+    EXPECT_THROW(soc.setDram(10e9, 0.0), FatalError);
+}
+
+TEST(SimSoc, RejectsDuplicateEngineNames)
+{
+    SimSoc soc("s");
+    soc.setDram(10e9, 0.0);
+    IpEngineConfig cfg;
+    cfg.name = "X";
+    SimSoc::EngineAttachment at;
+    at.linkBandwidth = 1e9;
+    soc.addEngine(cfg, at);
+    EXPECT_THROW(soc.addEngine(cfg, at), FatalError);
+}
+
+TEST(SimSoc, UnknownEngineLookupFails)
+{
+    SimSoc soc("s");
+    EXPECT_THROW(soc.engine("ghost"), FatalError);
+}
+
+TEST(SimSoc, ForeignFabricParentRejected)
+{
+    SimSoc a("a"), b("b");
+    a.setDram(10e9, 0.0);
+    b.setDram(10e9, 0.0);
+    BandwidthResource *fb = b.addFabric("fb", 1e9, 0.0);
+    EXPECT_THROW(a.addFabric("fa", 1e9, 0.0, fb), FatalError);
+}
+
+TEST(SimSoc, EmptyRunRejected)
+{
+    auto soc = SocCatalog::simpleSim(1e9, 1e9, 1e9);
+    EXPECT_THROW(soc->run({}), FatalError);
+}
+
+TEST(SimSoc, ResourceStatsIncludeAllComponents)
+{
+    auto soc = SocCatalog::snapdragon835Sim();
+    KernelJob j;
+    j.workingSetBytes = 64e6;
+    j.totalBytes = 64e6;
+    j.opsPerByte = 1.0;
+    SocRunStats stats = soc->run({{"CPU", j}});
+    // DRAM + 2 fabrics + 3 links + 3 compute resources = 9.
+    EXPECT_EQ(stats.resources.size(), 9u);
+    bool saw_dram = false;
+    for (const ResourceStats &r : stats.resources) {
+        if (r.name == "DRAM") {
+            saw_dram = true;
+            EXPECT_GT(r.bytesServed, 0.0);
+            EXPECT_GT(r.utilization, 0.0);
+            EXPECT_LE(r.utilization, 1.0);
+        }
+    }
+    EXPECT_TRUE(saw_dram);
+}
+
+TEST(SimSoc, RunsAreIndependent)
+{
+    auto soc = SocCatalog::snapdragon835Sim();
+    KernelJob j;
+    j.workingSetBytes = 64e6;
+    j.totalBytes = 64e6;
+    j.opsPerByte = 4.0;
+    SocRunStats first = soc->run({{"GPU", j}});
+    SocRunStats second = soc->run({{"GPU", j}});
+    EXPECT_DOUBLE_EQ(first.duration, second.duration);
+    EXPECT_DOUBLE_EQ(first.dramBytes, second.dramBytes);
+}
+
+TEST(SimSoc, AggregateOpsRateSumsEngines)
+{
+    auto soc = SocCatalog::snapdragon835Sim();
+    KernelJob j;
+    j.workingSetBytes = 32e6;
+    j.totalBytes = 32e6;
+    j.opsPerByte = 64.0;
+    SocRunStats stats = soc->run({{"CPU", j}, {"GPU", j}});
+    double total_ops =
+        stats.engine("CPU").ops + stats.engine("GPU").ops;
+    EXPECT_NEAR(stats.aggregateOpsRate(), total_ops / stats.duration,
+                1e-6);
+    EXPECT_THROW(stats.engine("DSP"), FatalError); // no DSP job ran
+}
+
+TEST(SimSoc, DramBytesEqualSumOfEngineMisses)
+{
+    auto soc = SocCatalog::snapdragon835Sim();
+    KernelJob j;
+    j.workingSetBytes = 64e6;
+    j.totalBytes = 64e6;
+    j.opsPerByte = 2.0;
+    SocRunStats stats =
+        soc->run({{"CPU", j}, {"GPU", j}, {"DSP", j}});
+    double miss_sum = 0.0;
+    for (const EngineRunStats &e : stats.engines)
+        miss_sum += e.missBytes;
+    EXPECT_DOUBLE_EQ(stats.dramBytes, miss_sum);
+}
+
+TEST(SimSoc, HierarchicalFabricChainBindsAtNarrowestHop)
+{
+    // Engine -> child fabric -> parent fabric -> DRAM: the
+    // narrowest hop on the chain sets the streaming rate.
+    SimSoc soc("chain");
+    soc.setDram(50e9, 100e-9);
+    BandwidthResource *parent = soc.addFabric("parent", 8e9, 20e-9);
+    BandwidthResource *child =
+        soc.addFabric("child", 40e9, 20e-9, parent);
+
+    IpEngineConfig cfg;
+    cfg.name = "X";
+    cfg.opsPerSec = 1000e9; // never compute bound
+    cfg.maxOutstanding = 8;
+    SimSoc::EngineAttachment at;
+    at.linkBandwidth = 30e9;
+    at.fabric = child;
+    soc.addEngine(cfg, at);
+
+    KernelJob job;
+    job.workingSetBytes = 32e6;
+    job.totalBytes = 32e6;
+    job.opsPerByte = 0.01;
+    SocRunStats stats = soc.run({{"X", job}});
+    // The 8 GB/s parent fabric binds, not the 30 GB/s link, the
+    // 40 GB/s child, or the 50 GB/s DRAM.
+    EXPECT_NEAR(stats.engine("X").achievedByteRate(), 8e9,
+                8e9 * 0.03);
+    // And both fabrics served every byte.
+    double child_bytes = 0.0, parent_bytes = 0.0;
+    for (const ResourceStats &r : stats.resources) {
+        if (r.name == "child")
+            child_bytes = r.bytesServed;
+        if (r.name == "parent")
+            parent_bytes = r.bytesServed;
+    }
+    EXPECT_DOUBLE_EQ(child_bytes, 32e6);
+    EXPECT_DOUBLE_EQ(parent_bytes, 32e6);
+}
+
+} // namespace
+} // namespace sim
+} // namespace gables

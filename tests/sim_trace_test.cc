@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for execution tracing: recorder semantics, non-overlap of
+ * service intervals per resource (the FIFO invariant), and Chrome
+ * Trace Event Format export.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/resource.h"
+#include "sim/trace.h"
+#include "soc/catalog.h"
+#include "soc/pipeline.h"
+#include "soc/usecases.h"
+
+namespace gables {
+namespace sim {
+namespace {
+
+TEST(Trace, RecordsAcquires)
+{
+    TraceRecorder trace;
+    BandwidthResource r("link", 100.0);
+    r.setTracer(&trace);
+    r.acquire(0.0, 50.0);
+    r.acquire(0.0, 100.0);
+    ASSERT_EQ(trace.events().size(), 2u);
+    EXPECT_EQ(trace.events()[0].track, "link");
+    EXPECT_DOUBLE_EQ(trace.events()[0].start, 0.0);
+    EXPECT_DOUBLE_EQ(trace.events()[0].duration, 0.5);
+    // Second request queues behind the first.
+    EXPECT_DOUBLE_EQ(trace.events()[1].start, 0.5);
+    EXPECT_DOUBLE_EQ(trace.events()[1].duration, 1.0);
+}
+
+TEST(Trace, DetachStopsRecording)
+{
+    TraceRecorder trace;
+    BandwidthResource r("link", 100.0);
+    r.setTracer(&trace);
+    r.acquire(0.0, 50.0);
+    r.setTracer(nullptr);
+    r.acquire(0.0, 50.0);
+    EXPECT_EQ(trace.events().size(), 1u);
+}
+
+TEST(Trace, TrackFilterAndClear)
+{
+    TraceRecorder trace;
+    trace.record("a", 0.0, 1.0);
+    trace.record("b", 1.0, 2.0);
+    trace.record("a", 3.0, 1.0);
+    EXPECT_EQ(trace.track("a").size(), 2u);
+    EXPECT_EQ(trace.track("b").size(), 1u);
+    EXPECT_EQ(trace.track("c").size(), 0u);
+    trace.clear();
+    EXPECT_TRUE(trace.events().empty());
+}
+
+TEST(Trace, ChromeFormatStructure)
+{
+    TraceRecorder trace;
+    trace.record("DRAM", 1e-6, 2e-6, "read");
+    std::ostringstream oss;
+    trace.writeChromeTrace(oss);
+    std::string json = oss.str();
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"read\""), std::string::npos);
+    EXPECT_NE(json.find("\"ts\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":2"), std::string::npos);
+    EXPECT_NE(json.find("thread_name"), std::string::npos);
+    // Balanced JSON.
+    int braces = 0, brackets = 0;
+    for (char c : json) {
+        braces += (c == '{') - (c == '}');
+        brackets += (c == '[') - (c == ']');
+    }
+    EXPECT_EQ(braces, 0);
+    EXPECT_EQ(brackets, 0);
+}
+
+TEST(Trace, PipelineServiceIntervalsNeverOverlapPerResource)
+{
+    // The FIFO invariant: a single server never runs two transfers
+    // at once. Check every track of a real pipeline run.
+    SocSpec soc = SocCatalog::snapdragon835Full();
+    UsecaseEntry entry = UsecaseCatalog::videocapture();
+    TraceRecorder trace;
+    PipelineSim sim(soc, entry.graph);
+    sim.setTraceRecorder(&trace);
+    sim.run(8);
+    ASSERT_GT(trace.events().size(), 100u);
+
+    // Group by track and verify sorted, non-overlapping service.
+    std::vector<std::string> tracks = {"DRAM", "ISP.link",
+                                       "ISP.compute", "VENC.compute"};
+    for (const std::string &name : tracks) {
+        auto events = trace.track(name);
+        ASSERT_FALSE(events.empty()) << name;
+        std::sort(events.begin(), events.end(),
+                  [](const TraceEvent &a, const TraceEvent &b) {
+                      return a.start < b.start;
+                  });
+        for (size_t i = 1; i < events.size(); ++i) {
+            EXPECT_GE(events[i].start + 1e-15,
+                      events[i - 1].start + events[i - 1].duration)
+                << name << " event " << i;
+        }
+    }
+}
+
+TEST(Trace, PipelineBusyTimeMatchesStats)
+{
+    // Sum of traced DRAM intervals == the resource's busy time.
+    SocSpec soc = SocCatalog::snapdragon835();
+    DataflowGraph g("single");
+    g.addStage("GPU", 1e6);
+    g.addBuffer("", "GPU", 10e6, "in");
+    TraceRecorder trace;
+    PipelineSim sim(soc, g);
+    sim.setTraceRecorder(&trace);
+    PipelineStats stats = sim.run(8);
+    double traced = 0.0;
+    for (const TraceEvent &e : trace.track("DRAM"))
+        traced += e.duration;
+    double stat_busy = 0.0;
+    for (const ResourceStats &r : stats.resources) {
+        if (r.name == "DRAM")
+            stat_busy = r.busyTime;
+    }
+    EXPECT_NEAR(traced, stat_busy, stat_busy * 1e-12);
+}
+
+TEST(Trace, SimSocAttachTracerCoversAllResources)
+{
+    auto soc = SocCatalog::snapdragon835Sim();
+    TraceRecorder trace;
+    soc->attachTracer(&trace);
+    KernelJob job;
+    job.workingSetBytes = 8e6;
+    job.totalBytes = 8e6;
+    job.opsPerByte = 1.0;
+    soc->run({{"CPU", job}, {"GPU", job}});
+    EXPECT_FALSE(trace.track("DRAM").empty());
+    EXPECT_FALSE(trace.track("CPU.link").empty());
+    EXPECT_FALSE(trace.track("GPU.compute").empty());
+    EXPECT_FALSE(trace.track("high-bandwidth fabric").empty());
+    // Detach stops recording.
+    size_t before = trace.events().size();
+    soc->attachTracer(nullptr);
+    soc->run({{"CPU", job}});
+    EXPECT_EQ(trace.events().size(), before);
+}
+
+} // namespace
+} // namespace sim
+} // namespace gables

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for the SoC/usecase text configuration format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+
+#include "core/gables.h"
+#include "soc/catalog.h"
+#include "soc/config.h"
+#include "util/logging.h"
+
+namespace gables {
+namespace {
+
+const char *kPaperConfig = R"(
+# The paper's Figure 6 two-IP SoC.
+[soc]
+name  = paper two-IP
+ppeak = 40 Gops/s
+bpeak = 10 GB/s
+
+[ip CPU]
+accel     = 1
+bandwidth = 6 GB/s
+
+[ip GPU]
+accel     = 5
+bandwidth = 15 GB/s
+
+[usecase 6a]
+CPU = 1.0 @ 8
+
+[usecase 6b]
+CPU = 0.25 @ 8
+GPU = 0.75 @ 0.1  ; poor reuse
+)";
+
+TEST(Config, ParsesPaperSoc)
+{
+    SocConfig cfg = parseSocConfig(kPaperConfig);
+    EXPECT_EQ(cfg.soc.name(), "paper two-IP");
+    EXPECT_DOUBLE_EQ(cfg.soc.ppeak(), 40e9);
+    EXPECT_DOUBLE_EQ(cfg.soc.bpeak(), 10e9);
+    ASSERT_EQ(cfg.soc.numIps(), 2u);
+    EXPECT_EQ(cfg.soc.ip(0).name, "CPU");
+    EXPECT_DOUBLE_EQ(cfg.soc.ip(1).acceleration, 5.0);
+    EXPECT_DOUBLE_EQ(cfg.soc.ip(1).bandwidth, 15e9);
+}
+
+TEST(Config, ParsesUsecases)
+{
+    SocConfig cfg = parseSocConfig(kPaperConfig);
+    ASSERT_EQ(cfg.usecases.size(), 2u);
+    const Usecase &u = cfg.usecase("6b");
+    EXPECT_DOUBLE_EQ(u.fraction(0), 0.25);
+    EXPECT_DOUBLE_EQ(u.intensity(1), 0.1);
+    // The omitted IP in 6a defaults to zero work.
+    EXPECT_DOUBLE_EQ(cfg.usecase("6a").fraction(1), 0.0);
+}
+
+TEST(Config, ParsedConfigEvaluatesLikeCatalog)
+{
+    SocConfig cfg = parseSocConfig(kPaperConfig);
+    double parsed =
+        GablesModel::evaluate(cfg.soc, cfg.usecase("6b")).attainable;
+    double catalog = GablesModel::evaluate(
+                         SocCatalog::paperTwoIp(),
+                         Usecase::twoIp("6b", 0.75, 8.0, 0.1))
+                         .attainable;
+    EXPECT_DOUBLE_EQ(parsed, catalog);
+}
+
+TEST(Config, InfIntensity)
+{
+    SocConfig cfg = parseSocConfig(R"(
+[soc]
+ppeak = 1 Gops/s
+bpeak = 1 GB/s
+[ip X]
+accel = 1
+bandwidth = 1 GB/s
+[usecase pure]
+X = 1 @ inf
+)");
+    EXPECT_TRUE(std::isinf(cfg.usecase("pure").intensity(0)));
+}
+
+TEST(Config, CommentsAndWhitespaceTolerated)
+{
+    SocConfig cfg = parseSocConfig(
+        "  [soc]  # header comment\n"
+        "name=x\n"
+        "  ppeak =  2e9 ; trailing\n"
+        "bpeak=1e9\n"
+        "[ip A]\n"
+        "accel=1\n"
+        "bandwidth=5e8\n");
+    EXPECT_EQ(cfg.soc.name(), "x");
+    EXPECT_DOUBLE_EQ(cfg.soc.ip(0).bandwidth, 5e8);
+}
+
+TEST(Config, ErrorsCarryLineNumbers)
+{
+    try {
+        parseSocConfig("[soc]\nppeak = 1e9\nbpeak = 1e9\nbogus\n");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("line 4"),
+                  std::string::npos);
+    }
+}
+
+TEST(Config, RejectsStructuralProblems)
+{
+    EXPECT_THROW(parseSocConfig(""), FatalError); // no [soc]
+    EXPECT_THROW(parseSocConfig("[soc]\nbpeak = 1e9\n[ip A]\n"
+                                "accel = 1\nbandwidth = 1e9\n"),
+                 FatalError); // no ppeak
+    EXPECT_THROW(parseSocConfig("[soc]\nppeak = 1e9\nbpeak = 1e9\n"),
+                 FatalError); // no IPs
+    EXPECT_THROW(
+        parseSocConfig("[soc]\nppeak=1e9\nbpeak=1e9\n[ip A]\n"
+                       "accel=1\nbandwidth=1e9\n[ip A]\naccel=1\n"
+                       "bandwidth=1e9\n"),
+        FatalError); // duplicate IP
+    EXPECT_THROW(
+        parseSocConfig("[soc]\nppeak=1e9\nbpeak=1e9\n[ip A]\n"
+                       "accel=1\nbandwidth=1e9\n[usecase u]\n"
+                       "Ghost = 1 @ 1\n"),
+        FatalError); // unknown IP in usecase
+    EXPECT_THROW(parseSocConfig("key = value\n"),
+                 FatalError); // key outside section
+    EXPECT_THROW(parseSocConfig("[mystery]\n"), FatalError);
+    EXPECT_THROW(parseSocConfig("[soc\n"), FatalError);
+}
+
+TEST(Config, RejectsBadWorkSyntax)
+{
+    const char *prefix = "[soc]\nppeak=1e9\nbpeak=1e9\n[ip A]\n"
+                         "accel=1\nbandwidth=1e9\n[usecase u]\n";
+    EXPECT_THROW(parseSocConfig(std::string(prefix) + "A = 0.5\n"),
+                 FatalError); // missing @
+    EXPECT_THROW(
+        parseSocConfig(std::string(prefix) + "A = x @ 1\n"),
+        FatalError);
+    EXPECT_THROW(
+        parseSocConfig(std::string(prefix) + "A = 1 @ fast\n"),
+        FatalError);
+    EXPECT_THROW(parseSocConfig(std::string(prefix) +
+                                "A = 0.5 @ 1\nA = 0.5 @ 1\n"),
+                 FatalError); // duplicate entry
+}
+
+TEST(Config, FormatRoundTrips)
+{
+    SocSpec soc = SocCatalog::snapdragon835();
+    std::vector<Usecase> usecases = {
+        Usecase("mix", {IpWork{0.25, 8.0}, IpWork{0.7, 0.5},
+                        IpWork{0.05, 2.0}}),
+        Usecase("pure", {IpWork{1.0,
+                                std::numeric_limits<double>::infinity()},
+                         IpWork{0.0, 1.0}, IpWork{0.0, 1.0}}),
+    };
+    std::string text = formatSocConfig(soc, usecases);
+    SocConfig cfg = parseSocConfig(text);
+    EXPECT_EQ(cfg.soc.name(), soc.name());
+    EXPECT_DOUBLE_EQ(cfg.soc.bpeak(), soc.bpeak());
+    ASSERT_EQ(cfg.usecases.size(), 2u);
+    for (size_t i = 0; i < 3; ++i) {
+        EXPECT_NEAR(cfg.usecase("mix").fraction(i),
+                    usecases[0].fraction(i), 1e-9);
+    }
+    EXPECT_TRUE(std::isinf(cfg.usecase("pure").intensity(0)));
+}
+
+TEST(Config, LoadFromFile)
+{
+    std::string path = ::testing::TempDir() + "gables_cfg_test.ini";
+    {
+        std::ofstream out(path);
+        out << kPaperConfig;
+    }
+    SocConfig cfg = loadSocConfig(path);
+    EXPECT_EQ(cfg.soc.numIps(), 2u);
+    EXPECT_THROW(loadSocConfig("/nonexistent/nowhere.ini"),
+                 FatalError);
+}
+
+} // namespace
+} // namespace gables

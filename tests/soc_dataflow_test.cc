@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for dataflow graphs: traffic accounting, lowering to Gables
+ * usecases, and frame-rate bottleneck analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "soc/catalog.h"
+#include "soc/dataflow.h"
+#include "util/logging.h"
+
+namespace gables {
+namespace {
+
+/** A minimal two-stage pipeline: sensor -> A -> B -> (display). */
+DataflowGraph
+pipeline()
+{
+    DataflowGraph g("pipe");
+    g.addStage("CPU", 1e9);
+    g.addStage("GPU", 4e9);
+    g.addBuffer("", "CPU", 10e6, "input");
+    g.addBuffer("CPU", "GPU", 20e6, "intermediate");
+    g.addBuffer("GPU", "", 5e6, "output");
+    return g;
+}
+
+TEST(Dataflow, OpsAccumulatePerIp)
+{
+    DataflowGraph g("g");
+    g.addStage("CPU", 1e9);
+    g.addStage("CPU", 2e9);
+    ASSERT_EQ(g.stages().size(), 1u);
+    EXPECT_DOUBLE_EQ(g.stages()[0].opsPerFrame, 3e9);
+    EXPECT_DOUBLE_EQ(g.opsPerFrame(), 3e9);
+}
+
+TEST(Dataflow, IpBytesCountBothDirections)
+{
+    DataflowGraph g = pipeline();
+    // CPU: reads input (10M) + writes intermediate (20M).
+    EXPECT_DOUBLE_EQ(g.ipBytesPerFrame("CPU"), 30e6);
+    // GPU: reads intermediate (20M) + writes output (5M).
+    EXPECT_DOUBLE_EQ(g.ipBytesPerFrame("GPU"), 25e6);
+    EXPECT_DOUBLE_EQ(g.ipBytesPerFrame("DSP"), 0.0);
+}
+
+TEST(Dataflow, DramBytesCountWriteAndRead)
+{
+    DataflowGraph g = pipeline();
+    // Each buffer is written once and read once: 2 * (10+20+5) MB.
+    EXPECT_DOUBLE_EQ(g.dramBytesPerFrame(), 70e6);
+}
+
+TEST(Dataflow, SelfBufferModelsReferenceFrames)
+{
+    DataflowGraph g("tnr");
+    g.addStage("ISP", 1e9);
+    g.addBuffer("ISP", "ISP", 12e6, "reference");
+    // The IP both writes and reads the reference: 24 MB of link
+    // traffic, 24 MB of DRAM traffic.
+    EXPECT_DOUBLE_EQ(g.ipBytesPerFrame("ISP"), 24e6);
+    EXPECT_DOUBLE_EQ(g.dramBytesPerFrame(), 24e6);
+}
+
+TEST(Dataflow, UsesIpAndActiveIps)
+{
+    DataflowGraph g = pipeline();
+    EXPECT_TRUE(g.usesIp("CPU"));
+    EXPECT_TRUE(g.usesIp("GPU"));
+    EXPECT_FALSE(g.usesIp("DSP"));
+    auto active = g.activeIps();
+    ASSERT_EQ(active.size(), 2u);
+    EXPECT_EQ(active[0], "CPU");
+    EXPECT_EQ(active[1], "GPU");
+}
+
+TEST(Dataflow, ValidationErrors)
+{
+    DataflowGraph g("g");
+    EXPECT_THROW(g.addStage("", 1.0), FatalError);
+    EXPECT_THROW(g.addStage("CPU", -1.0), FatalError);
+    EXPECT_THROW(g.addBuffer("A", "B", 0.0), FatalError);
+    EXPECT_THROW(g.addBuffer("", "", 10.0), FatalError);
+}
+
+TEST(Dataflow, ToUsecaseFractionsAndIntensities)
+{
+    SocSpec soc = SocCatalog::snapdragon835(); // CPU, GPU, DSP
+    DataflowGraph g = pipeline();
+    Usecase u = g.toUsecase(soc);
+    EXPECT_DOUBLE_EQ(u.fraction(0), 0.2); // 1e9 of 5e9 total ops
+    EXPECT_DOUBLE_EQ(u.fraction(1), 0.8);
+    EXPECT_DOUBLE_EQ(u.fraction(2), 0.0);
+    // Intensities: ops / link bytes.
+    EXPECT_NEAR(u.intensity(0), 1e9 / 30e6, 1e-9);
+    EXPECT_NEAR(u.intensity(1), 4e9 / 25e6, 1e-9);
+}
+
+TEST(Dataflow, ToUsecaseInfiniteIntensityForBufferlessStage)
+{
+    SocSpec soc = SocCatalog::snapdragon835();
+    DataflowGraph g("pure");
+    g.addStage("CPU", 1e9);
+    Usecase u = g.toUsecase(soc);
+    EXPECT_TRUE(std::isinf(u.intensity(0)));
+}
+
+TEST(Dataflow, ToUsecaseUnknownIpFails)
+{
+    SocSpec soc = SocCatalog::snapdragon835();
+    DataflowGraph g("g");
+    g.addStage("ISP", 1e9); // no ISP on the 3-IP spec
+    EXPECT_THROW(g.toUsecase(soc), FatalError);
+}
+
+TEST(Dataflow, AnalyzeComputeBound)
+{
+    // GPU does 4e9 ops at 349.6e9 ops/s -> 11.44 ms; make buffers
+    // tiny so compute binds.
+    SocSpec soc = SocCatalog::snapdragon835();
+    DataflowGraph g("compute");
+    g.addStage("GPU", 4e9);
+    g.addBuffer("", "GPU", 1e3, "tiny");
+    DataflowAnalysis a = g.analyze(soc);
+    EXPECT_EQ(a.bottleneckIp, 1);
+    EXPECT_EQ(a.bottleneck, BottleneckKind::IpCompute);
+    EXPECT_NEAR(a.maxFps, 349.6e9 / 4e9, 0.01);
+}
+
+TEST(Dataflow, AnalyzeMemoryBound)
+{
+    // Heavy buffers, light compute: DRAM binds.
+    SocSpec soc = SocCatalog::snapdragon835();
+    DataflowGraph g("stream");
+    g.addStage("GPU", 1e6);
+    g.addBuffer("", "GPU", 100e6, "in"); // 200 MB DRAM/frame
+    DataflowAnalysis a = g.analyze(soc);
+    EXPECT_EQ(a.bottleneckIp, -1);
+    EXPECT_EQ(a.bottleneck, BottleneckKind::Memory);
+    EXPECT_NEAR(a.maxFps, 29.8e9 / 200e6, 0.01);
+    EXPECT_DOUBLE_EQ(a.dramBytesPerFrame, 200e6);
+}
+
+TEST(Dataflow, AnalyzeIpBandwidthBound)
+{
+    // DSP link is 5.4 GB/s; give it 54 MB of link traffic per frame
+    // and negligible compute.
+    SocSpec soc = SocCatalog::snapdragon835();
+    DataflowGraph g("dsp-stream");
+    g.addStage("DSP", 1e6);
+    g.addBuffer("", "DSP", 54e6, "in");
+    DataflowAnalysis a = g.analyze(soc);
+    EXPECT_EQ(a.bottleneckIp, 2);
+    EXPECT_EQ(a.bottleneck, BottleneckKind::IpBandwidth);
+    EXPECT_NEAR(a.maxFps, 100.0, 0.5); // 5.4e9/54e6
+}
+
+TEST(Dataflow, AnalysisAgreesWithGablesOnIpTimes)
+{
+    SocSpec soc = SocCatalog::snapdragon835();
+    DataflowGraph g = pipeline();
+    DataflowAnalysis a = g.analyze(soc);
+    Usecase u = g.toUsecase(soc);
+    GablesResult r = GablesModel::evaluate(soc, u);
+    // Per-IP: frame time * model perf-units should be consistent:
+    // t_ip(frame) = ops_total * T_ip(per unit op).
+    double total_ops = g.opsPerFrame();
+    for (size_t i = 0; i < soc.numIps(); ++i)
+        EXPECT_NEAR(a.ipTimes[i], r.ips[i].time * total_ops,
+                    a.ipTimes[i] * 1e-9 + 1e-15);
+}
+
+TEST(Dataflow, EmptyGraphRejectedByLowering)
+{
+    SocSpec soc = SocCatalog::snapdragon835();
+    DataflowGraph g("empty");
+    EXPECT_THROW(g.toUsecase(soc), FatalError);
+    EXPECT_THROW(g.analyze(soc), FatalError);
+}
+
+} // namespace
+} // namespace gables

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for the CLI argument parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/arg_parser.h"
+
+namespace gables {
+namespace {
+
+/** Helper: parse a list of argv words (argv[0] is the program). */
+bool
+parseWords(ArgParser &parser, std::initializer_list<const char *> words,
+           std::ostream &err)
+{
+    std::vector<const char *> argv(words);
+    return parser.parse(static_cast<int>(argv.size()), argv.data(), err);
+}
+
+TEST(ArgParser, OptionWithSeparateValue)
+{
+    ArgParser p("t", "test");
+    p.addOption("bpeak", "bandwidth");
+    std::ostringstream err;
+    ASSERT_TRUE(parseWords(p, {"t", "--bpeak", "30e9"}, err));
+    EXPECT_TRUE(p.has("bpeak"));
+    EXPECT_DOUBLE_EQ(p.getDouble("bpeak", 0.0), 30e9);
+}
+
+TEST(ArgParser, OptionWithEqualsValue)
+{
+    ArgParser p("t", "test");
+    p.addOption("name", "a name");
+    std::ostringstream err;
+    ASSERT_TRUE(parseWords(p, {"t", "--name=sd835"}, err));
+    EXPECT_EQ(p.getString("name"), "sd835");
+}
+
+TEST(ArgParser, FlagPresence)
+{
+    ArgParser p("t", "test");
+    p.addFlag("json", "emit json");
+    std::ostringstream err;
+    ASSERT_TRUE(parseWords(p, {"t", "--json"}, err));
+    EXPECT_TRUE(p.has("json"));
+    EXPECT_FALSE(p.has("absent"));
+}
+
+TEST(ArgParser, DefaultsWhenAbsent)
+{
+    ArgParser p("t", "test");
+    p.addOption("f", "fraction", "0.5");
+    std::ostringstream err;
+    ASSERT_TRUE(parseWords(p, {"t"}, err));
+    EXPECT_DOUBLE_EQ(p.getDouble("f", 0.5), 0.5);
+    EXPECT_EQ(p.getInt("f", 7), 7);
+    EXPECT_EQ(p.getString("missing", "dflt"), "dflt");
+}
+
+TEST(ArgParser, PositionalArguments)
+{
+    ArgParser p("t", "test");
+    p.addOption("x", "an option");
+    std::ostringstream err;
+    ASSERT_TRUE(parseWords(p, {"t", "alpha", "--x", "1", "beta"}, err));
+    ASSERT_EQ(p.positional().size(), 2u);
+    EXPECT_EQ(p.positional()[0], "alpha");
+    EXPECT_EQ(p.positional()[1], "beta");
+}
+
+TEST(ArgParser, DoubleDashEndsOptions)
+{
+    ArgParser p("t", "test");
+    p.addFlag("v", "verbose");
+    std::ostringstream err;
+    ASSERT_TRUE(parseWords(p, {"t", "--", "--v"}, err));
+    EXPECT_FALSE(p.has("v"));
+    ASSERT_EQ(p.positional().size(), 1u);
+    EXPECT_EQ(p.positional()[0], "--v");
+}
+
+TEST(ArgParser, UnknownOptionFails)
+{
+    ArgParser p("t", "test");
+    std::ostringstream err;
+    EXPECT_FALSE(parseWords(p, {"t", "--mystery"}, err));
+    EXPECT_NE(err.str().find("unknown option"), std::string::npos);
+}
+
+TEST(ArgParser, MissingValueFails)
+{
+    ArgParser p("t", "test");
+    p.addOption("x", "needs value");
+    std::ostringstream err;
+    EXPECT_FALSE(parseWords(p, {"t", "--x"}, err));
+    EXPECT_NE(err.str().find("requires a value"), std::string::npos);
+}
+
+TEST(ArgParser, FlagRejectsValue)
+{
+    ArgParser p("t", "test");
+    p.addFlag("json", "emit json");
+    std::ostringstream err;
+    EXPECT_FALSE(parseWords(p, {"t", "--json=yes"}, err));
+}
+
+TEST(ArgParser, HelpReturnsFalseAndPrintsUsage)
+{
+    ArgParser p("mytool", "does things");
+    p.addOption("x", "the x value", "1");
+    std::ostringstream err;
+    EXPECT_FALSE(parseWords(p, {"mytool", "--help"}, err));
+    EXPECT_NE(err.str().find("usage: mytool"), std::string::npos);
+    EXPECT_NE(err.str().find("default: 1"), std::string::npos);
+}
+
+TEST(ArgParser, IntParsing)
+{
+    ArgParser p("t", "test");
+    p.addOption("n", "count");
+    std::ostringstream err;
+    ASSERT_TRUE(parseWords(p, {"t", "--n", "17"}, err));
+    EXPECT_EQ(p.getInt("n", 0), 17);
+}
+
+} // namespace
+} // namespace gables

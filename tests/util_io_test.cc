@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Unit tests for the table formatter, CSV writer/parser, and JSON
+ * writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/json_writer.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace gables {
+namespace {
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    std::string out = t.render();
+    // Header then rule then two rows.
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+    // Every line has the same width.
+    std::istringstream iss(out);
+    std::string line;
+    size_t width = 0;
+    while (std::getline(iss, line)) {
+        if (width == 0)
+            width = line.size();
+        EXPECT_EQ(line.size(), width);
+    }
+}
+
+TEST(TextTable, RowCellCountEnforced)
+{
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only one"}), FatalError);
+    EXPECT_THROW(t.addRow({"1", "2", "3"}), FatalError);
+}
+
+TEST(TextTable, RowCount)
+{
+    TextTable t({"a"});
+    EXPECT_EQ(t.rowCount(), 0u);
+    t.addRow({"1"});
+    t.addRule();
+    t.addRow({"2"});
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TextTable, MarkdownRendering)
+{
+    TextTable t({"x", "y"});
+    t.addRow({"1", "2"});
+    std::string md = t.renderMarkdown();
+    EXPECT_NE(md.find("| x | y |"), std::string::npos);
+    EXPECT_NE(md.find("|---|---|"), std::string::npos);
+    EXPECT_NE(md.find("| 1 | 2 |"), std::string::npos);
+}
+
+TEST(Csv, PlainRow)
+{
+    std::ostringstream oss;
+    CsvWriter csv(oss);
+    csv.writeRow(std::vector<std::string>{"a", "b", "c"});
+    EXPECT_EQ(oss.str(), "a,b,c\n");
+}
+
+TEST(Csv, QuotesSpecialFields)
+{
+    std::ostringstream oss;
+    CsvWriter csv(oss);
+    csv.writeRow(std::vector<std::string>{"a,b", "say \"hi\""});
+    EXPECT_EQ(oss.str(), "\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Csv, NumericRow)
+{
+    std::ostringstream oss;
+    CsvWriter csv(oss);
+    csv.writeRow(std::vector<double>{1.5, 2.0});
+    EXPECT_EQ(oss.str(), "1.5,2\n");
+}
+
+TEST(Csv, ParseRoundTrip)
+{
+    std::ostringstream oss;
+    CsvWriter csv(oss);
+    csv.writeRow(std::vector<std::string>{"plain", "with,comma",
+                                          "with \"quote\""});
+    csv.writeRow(std::vector<std::string>{"1", "2", "3"});
+    auto rows = parseCsv(oss.str());
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0][1], "with,comma");
+    EXPECT_EQ(rows[0][2], "with \"quote\"");
+    EXPECT_EQ(rows[1][2], "3");
+}
+
+TEST(Csv, ParseHandlesCrLf)
+{
+    auto rows = parseCsv("a,b\r\nc,d\r\n");
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0][1], "b");
+    EXPECT_EQ(rows[1][0], "c");
+}
+
+TEST(Json, SimpleObject)
+{
+    std::ostringstream oss;
+    JsonWriter json(oss, false);
+    json.beginObject();
+    json.kv("name", "gables");
+    json.kv("n", 3);
+    json.kv("ok", true);
+    json.endObject();
+    EXPECT_TRUE(json.done());
+    EXPECT_EQ(oss.str(), "{\"name\":\"gables\",\"n\":3,\"ok\":true}");
+}
+
+TEST(Json, NestedArraysAndObjects)
+{
+    std::ostringstream oss;
+    JsonWriter json(oss, false);
+    json.beginObject();
+    json.key("ips");
+    json.beginArray();
+    json.beginObject();
+    json.kv("a", 1.0);
+    json.endObject();
+    json.beginObject();
+    json.kv("a", 2.5);
+    json.endObject();
+    json.endArray();
+    json.endObject();
+    EXPECT_EQ(oss.str(), "{\"ips\":[{\"a\":1},{\"a\":2.5}]}");
+}
+
+TEST(Json, EscapesStrings)
+{
+    std::ostringstream oss;
+    JsonWriter json(oss, false);
+    json.beginObject();
+    json.kv("s", std::string("line\n\"q\"\\"));
+    json.endObject();
+    EXPECT_EQ(oss.str(), "{\"s\":\"line\\n\\\"q\\\"\\\\\"}");
+}
+
+TEST(Json, NanBecomesNull)
+{
+    std::ostringstream oss;
+    JsonWriter json(oss, false);
+    json.beginArray();
+    json.value(std::numeric_limits<double>::quiet_NaN());
+    json.value(1.0);
+    json.endArray();
+    EXPECT_EQ(oss.str(), "[null,1]");
+}
+
+TEST(Json, NumberArrayHelper)
+{
+    std::ostringstream oss;
+    JsonWriter json(oss, false);
+    json.beginObject();
+    json.numberArray("xs", {1.0, 2.0, 3.0});
+    json.endObject();
+    EXPECT_EQ(oss.str(), "{\"xs\":[1,2,3]}");
+}
+
+TEST(Json, DoubleRoundTripPrecision)
+{
+    std::ostringstream oss;
+    JsonWriter json(oss, false);
+    json.beginArray();
+    json.value(0.1);
+    json.value(1.0 / 3.0);
+    json.endArray();
+    // Parse the numbers back and compare exactly.
+    double a = 0.0, b = 0.0;
+    ASSERT_EQ(std::sscanf(oss.str().c_str(), "[%lf,%lf]", &a, &b), 2);
+    EXPECT_DOUBLE_EQ(a, 0.1);
+    EXPECT_DOUBLE_EQ(b, 1.0 / 3.0);
+}
+
+} // namespace
+} // namespace gables

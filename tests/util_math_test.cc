@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for util/math_util.h.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/math_util.h"
+
+namespace gables {
+namespace {
+
+TEST(WeightedHarmonicMean, UniformWeightsMatchClassic)
+{
+    // Classic harmonic mean of {2, 4} is 2/(1/2 + 1/4) = 8/3.
+    double hm = weightedHarmonicMean({0.5, 0.5}, {2.0, 4.0});
+    EXPECT_NEAR(hm, 8.0 / 3.0, 1e-12);
+}
+
+TEST(WeightedHarmonicMean, PaperIavgExample)
+{
+    // Appendix Figure 6b: Iavg = 1/[(0.25/8) + (0.75/0.1)] = 0.13278.
+    double iavg = weightedHarmonicMean({0.25, 0.75}, {8.0, 0.1});
+    EXPECT_NEAR(iavg, 0.13278, 5e-6);
+}
+
+TEST(WeightedHarmonicMean, ZeroWeightSkipsValue)
+{
+    // The skipped value may be anything; result equals the other.
+    double hm = weightedHarmonicMean({1.0, 0.0}, {8.0, 1e-30});
+    EXPECT_NEAR(hm, 8.0, 1e-12);
+}
+
+TEST(WeightedHarmonicMean, AllZeroWeights)
+{
+    EXPECT_DOUBLE_EQ(weightedHarmonicMean({0.0, 0.0}, {1.0, 2.0}), 0.0);
+}
+
+TEST(WeightedHarmonicMean, ZeroValueGivesZero)
+{
+    EXPECT_DOUBLE_EQ(weightedHarmonicMean({0.5, 0.5}, {0.0, 4.0}), 0.0);
+}
+
+TEST(ApproxEqual, RelativeTolerance)
+{
+    EXPECT_TRUE(approxEqual(1e12, 1e12 * (1.0 + 1e-12)));
+    EXPECT_FALSE(approxEqual(1.0, 1.001));
+    EXPECT_TRUE(approxEqual(1.0, 1.001, 1e-2));
+}
+
+TEST(RelativeError, ReferenceInDenominator)
+{
+    EXPECT_NEAR(relativeError(11.0, 10.0), 0.1, 1e-12);
+    EXPECT_NEAR(relativeError(9.0, 10.0), 0.1, 1e-12);
+}
+
+TEST(Logspace, EndpointsExactAndMonotone)
+{
+    auto v = logspace(0.01, 100.0, 9);
+    ASSERT_EQ(v.size(), 9u);
+    EXPECT_DOUBLE_EQ(v.front(), 0.01);
+    EXPECT_DOUBLE_EQ(v.back(), 100.0);
+    for (size_t i = 1; i < v.size(); ++i)
+        EXPECT_GT(v[i], v[i - 1]);
+}
+
+TEST(Logspace, GeometricSpacing)
+{
+    auto v = logspace(1.0, 16.0, 5);
+    EXPECT_NEAR(v[1], 2.0, 1e-9);
+    EXPECT_NEAR(v[2], 4.0, 1e-9);
+    EXPECT_NEAR(v[3], 8.0, 1e-9);
+}
+
+TEST(Linspace, EndpointsAndStep)
+{
+    auto v = linspace(0.0, 1.0, 5);
+    ASSERT_EQ(v.size(), 5u);
+    EXPECT_DOUBLE_EQ(v[0], 0.0);
+    EXPECT_DOUBLE_EQ(v[2], 0.5);
+    EXPECT_DOUBLE_EQ(v[4], 1.0);
+}
+
+TEST(LogTicks, CoversRange)
+{
+    auto t = logTicks(0.05, 200.0);
+    // 10^-2 .. 10^3 bracket the range.
+    EXPECT_GE(t.size(), 4u);
+    EXPECT_LE(t.front(), 0.05);
+    EXPECT_GE(t.back(), 200.0);
+}
+
+TEST(Bisect, FindsRoot)
+{
+    double root = bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+    EXPECT_NEAR(root, std::sqrt(2.0), 1e-9);
+}
+
+TEST(Bisect, ExactEndpoints)
+{
+    EXPECT_DOUBLE_EQ(bisect([](double x) { return x; }, 0.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(bisect([](double x) { return x - 1.0; }, 0.0, 1.0),
+                     1.0);
+}
+
+TEST(GoldenSectionMax, FindsMaximum)
+{
+    // Max of -(x-3)^2 is at x = 3.
+    double argmax = goldenSectionMax(
+        [](double x) { return -(x - 3.0) * (x - 3.0); }, 0.0, 10.0);
+    EXPECT_NEAR(argmax, 3.0, 1e-6);
+}
+
+TEST(GoldenSectionMax, BoundaryMaximum)
+{
+    // Monotone increasing: max at the right edge.
+    double argmax =
+        goldenSectionMax([](double x) { return x; }, 0.0, 5.0);
+    EXPECT_NEAR(argmax, 5.0, 1e-6);
+}
+
+TEST(Clamp, Basics)
+{
+    EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(clamp(-5.0, 0.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+} // namespace
+} // namespace gables

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for util/strings.h.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/strings.h"
+
+namespace gables {
+namespace {
+
+TEST(Trim, StripsBothEnds)
+{
+    EXPECT_EQ(trim("  hello  "), "hello");
+    EXPECT_EQ(trim("\t\nhi\r "), "hi");
+}
+
+TEST(Trim, EmptyAndAllWhitespace)
+{
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   \t"), "");
+}
+
+TEST(Trim, NoWhitespaceUnchanged)
+{
+    EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(Trim, InternalWhitespaceKept)
+{
+    EXPECT_EQ(trim(" a b "), "a b");
+}
+
+TEST(ToLower, MixedCase)
+{
+    EXPECT_EQ(toLower("GaBlEs"), "gables");
+    EXPECT_EQ(toLower("GB/s"), "gb/s");
+}
+
+TEST(Split, BasicFields)
+{
+    auto parts = split("a,b,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "b");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, EmptyFieldsKept)
+{
+    auto parts = split("a,,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[1], "");
+}
+
+TEST(Split, TrailingDelimiterYieldsEmptyField)
+{
+    auto parts = split("a,b,", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[2], "");
+}
+
+TEST(Split, EmptyStringYieldsOneEmptyField)
+{
+    auto parts = split("", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "");
+}
+
+TEST(Join, RoundTripsSplit)
+{
+    std::vector<std::string> parts = {"x", "y", "z"};
+    EXPECT_EQ(join(parts, ","), "x,y,z");
+    EXPECT_EQ(split(join(parts, ","), ','), parts);
+}
+
+TEST(Join, SingleAndEmpty)
+{
+    EXPECT_EQ(join({"only"}, ", "), "only");
+    EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(StartsWith, Basic)
+{
+    EXPECT_TRUE(startsWith("gables-model", "gables"));
+    EXPECT_FALSE(startsWith("gables", "gables-model"));
+    EXPECT_TRUE(startsWith("abc", ""));
+}
+
+TEST(EndsWith, Basic)
+{
+    EXPECT_TRUE(endsWith("plot.svg", ".svg"));
+    EXPECT_FALSE(endsWith("svg", "plot.svg"));
+    EXPECT_TRUE(endsWith("abc", ""));
+}
+
+TEST(FormatDouble, TrimsTrailingZeros)
+{
+    EXPECT_EQ(formatDouble(1.5), "1.5");
+    EXPECT_EQ(formatDouble(2.0), "2");
+    EXPECT_EQ(formatDouble(0.25, 4), "0.25");
+}
+
+TEST(FormatDouble, RespectsPrecision)
+{
+    EXPECT_EQ(formatDouble(1.0 / 3.0, 3), "0.333");
+    EXPECT_EQ(formatDouble(0.13278, 5), "0.13278");
+}
+
+TEST(FormatDouble, SpecialValues)
+{
+    EXPECT_EQ(formatDouble(std::numeric_limits<double>::quiet_NaN()),
+              "nan");
+    EXPECT_EQ(formatDouble(std::numeric_limits<double>::infinity()),
+              "inf");
+    EXPECT_EQ(formatDouble(-std::numeric_limits<double>::infinity()),
+              "-inf");
+}
+
+TEST(FormatDouble, NegativeValues)
+{
+    EXPECT_EQ(formatDouble(-1.25), "-1.25");
+    EXPECT_EQ(formatDouble(-2.0), "-2");
+}
+
+TEST(Pad, LeftAndRight)
+{
+    EXPECT_EQ(padLeft("ab", 4), "  ab");
+    EXPECT_EQ(padRight("ab", 4), "ab  ");
+}
+
+TEST(Pad, NoTruncationWhenWide)
+{
+    EXPECT_EQ(padLeft("abcdef", 3), "abcdef");
+    EXPECT_EQ(padRight("abcdef", 3), "abcdef");
+}
+
+} // namespace
+} // namespace gables

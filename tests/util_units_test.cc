@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for util/units.h formatting and parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+#include "util/units.h"
+
+namespace gables {
+namespace {
+
+TEST(FormatOpsRate, PicksPrefix)
+{
+    EXPECT_EQ(formatOpsRate(40e9), "40 Gops/s");
+    EXPECT_EQ(formatOpsRate(7.5e9), "7.5 Gops/s");
+    EXPECT_EQ(formatOpsRate(3.6e6), "3.6 Mops/s");
+    EXPECT_EQ(formatOpsRate(250.0), "250 ops/s");
+}
+
+TEST(FormatOpsRate, SubUnit)
+{
+    EXPECT_EQ(formatOpsRate(0.5), "500 mops/s");
+}
+
+TEST(FormatByteRate, PicksPrefix)
+{
+    EXPECT_EQ(formatByteRate(24.4e9), "24.4 GB/s");
+    EXPECT_EQ(formatByteRate(15.1e9), "15.1 GB/s");
+    EXPECT_EQ(formatByteRate(1e3), "1 kB/s");
+}
+
+TEST(FormatBytes, BinaryPrefixes)
+{
+    EXPECT_EQ(formatBytes(12.0 * kMiB), "12 MiB");
+    EXPECT_EQ(formatBytes(2.0 * kGiB), "2 GiB");
+    EXPECT_EQ(formatBytes(512.0), "512 B");
+}
+
+TEST(FormatSeconds, PicksPrefix)
+{
+    EXPECT_EQ(formatSeconds(1.5), "1.5 s");
+    EXPECT_EQ(formatSeconds(2e-3), "2 ms");
+    EXPECT_EQ(formatSeconds(3e-9), "3 ns");
+}
+
+TEST(FormatZero, Zeros)
+{
+    EXPECT_EQ(formatOpsRate(0.0), "0 ops/s");
+    EXPECT_EQ(formatBytes(0.0), "0 B");
+}
+
+TEST(ParseRate, PlainNumber)
+{
+    EXPECT_DOUBLE_EQ(parseRate("3e9"), 3e9);
+    EXPECT_DOUBLE_EQ(parseRate("42"), 42.0);
+}
+
+TEST(ParseRate, DecimalPrefixes)
+{
+    EXPECT_DOUBLE_EQ(parseRate("40 Gops/s"), 40e9);
+    EXPECT_DOUBLE_EQ(parseRate("24.4GB/s"), 24.4e9);
+    EXPECT_DOUBLE_EQ(parseRate("920 MHz"), 920e6);
+    EXPECT_DOUBLE_EQ(parseRate("1.5 kB/s"), 1500.0);
+    EXPECT_DOUBLE_EQ(parseRate("2 Tops/s"), 2e12);
+}
+
+TEST(ParseRate, RejectsGarbage)
+{
+    EXPECT_THROW(parseRate("fast"), FatalError);
+    EXPECT_THROW(parseRate(""), FatalError);
+    EXPECT_THROW(parseRate("10 furlongs/s"), FatalError);
+}
+
+TEST(ParseSize, BinaryPrefixes)
+{
+    EXPECT_DOUBLE_EQ(parseSize("64KiB"), 64.0 * 1024);
+    EXPECT_DOUBLE_EQ(parseSize("12 MiB"), 12.0 * kMiB);
+    EXPECT_DOUBLE_EQ(parseSize("2GiB"), 2.0 * kGiB);
+}
+
+TEST(ParseSize, DecimalPrefixes)
+{
+    EXPECT_DOUBLE_EQ(parseSize("32 kB"), 32e3);
+    EXPECT_DOUBLE_EQ(parseSize("1 MB"), 1e6);
+}
+
+TEST(ParseSize, PlainBytes)
+{
+    EXPECT_DOUBLE_EQ(parseSize("4096"), 4096.0);
+    EXPECT_DOUBLE_EQ(parseSize("4096 bytes"), 4096.0);
+}
+
+TEST(ParseSize, RejectsBadUnit)
+{
+    EXPECT_THROW(parseSize("4 parsecs"), FatalError);
+}
+
+TEST(FormatParse, RoundTripRates)
+{
+    for (double v : {1.0, 1e3, 2.5e6, 7.5e9, 3e12}) {
+        double parsed = parseRate(formatOpsRate(v, 12));
+        EXPECT_NEAR(parsed, v, v * 1e-9);
+    }
+}
+
+} // namespace
+} // namespace gables
