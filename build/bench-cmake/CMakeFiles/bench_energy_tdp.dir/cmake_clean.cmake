@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_energy_tdp"
+  "../bench/bench_energy_tdp.pdb"
+  "CMakeFiles/bench_energy_tdp.dir/bench_energy_tdp.cc.o"
+  "CMakeFiles/bench_energy_tdp.dir/bench_energy_tdp.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_energy_tdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_interconnect"
+  "../bench/bench_ext_interconnect.pdb"
+  "CMakeFiles/bench_ext_interconnect.dir/bench_ext_interconnect.cc.o"
+  "CMakeFiles/bench_ext_interconnect.dir/bench_ext_interconnect.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_memside"
+  "../bench/bench_ext_memside.pdb"
+  "CMakeFiles/bench_ext_memside.dir/bench_ext_memside.cc.o"
+  "CMakeFiles/bench_ext_memside.dir/bench_ext_memside.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_memside.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_serialized"
+  "../bench/bench_ext_serialized.pdb"
+  "CMakeFiles/bench_ext_serialized.dir/bench_ext_serialized.cc.o"
+  "CMakeFiles/bench_ext_serialized.dir/bench_ext_serialized.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_serialized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

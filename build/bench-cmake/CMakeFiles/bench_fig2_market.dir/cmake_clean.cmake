@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_market"
+  "../bench/bench_fig2_market.pdb"
+  "CMakeFiles/bench_fig2_market.dir/bench_fig2_market.cc.o"
+  "CMakeFiles/bench_fig2_market.dir/bench_fig2_market.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

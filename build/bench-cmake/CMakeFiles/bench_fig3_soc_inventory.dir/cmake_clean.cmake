@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_soc_inventory"
+  "../bench/bench_fig3_soc_inventory.pdb"
+  "CMakeFiles/bench_fig3_soc_inventory.dir/bench_fig3_soc_inventory.cc.o"
+  "CMakeFiles/bench_fig3_soc_inventory.dir/bench_fig3_soc_inventory.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_soc_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

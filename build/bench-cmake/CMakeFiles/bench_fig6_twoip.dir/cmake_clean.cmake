@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_twoip"
+  "../bench/bench_fig6_twoip.pdb"
+  "CMakeFiles/bench_fig6_twoip.dir/bench_fig6_twoip.cc.o"
+  "CMakeFiles/bench_fig6_twoip.dir/bench_fig6_twoip.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_twoip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

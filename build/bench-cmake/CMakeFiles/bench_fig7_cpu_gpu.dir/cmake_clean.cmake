@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_cpu_gpu"
+  "../bench/bench_fig7_cpu_gpu.pdb"
+  "CMakeFiles/bench_fig7_cpu_gpu.dir/bench_fig7_cpu_gpu.cc.o"
+  "CMakeFiles/bench_fig7_cpu_gpu.dir/bench_fig7_cpu_gpu.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_cpu_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_mixing"
+  "../bench/bench_fig8_mixing.pdb"
+  "CMakeFiles/bench_fig8_mixing.dir/bench_fig8_mixing.cc.o"
+  "CMakeFiles/bench_fig8_mixing.dir/bench_fig8_mixing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_mixing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_dsp"
+  "../bench/bench_fig9_dsp.pdb"
+  "CMakeFiles/bench_fig9_dsp.dir/bench_fig9_dsp.cc.o"
+  "CMakeFiles/bench_fig9_dsp.dir/bench_fig9_dsp.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_logca_offload"
+  "../bench/bench_logca_offload.pdb"
+  "CMakeFiles/bench_logca_offload.dir/bench_logca_offload.cc.o"
+  "CMakeFiles/bench_logca_offload.dir/bench_logca_offload.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_logca_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_model_scaling"
+  "../bench/bench_model_scaling.pdb"
+  "CMakeFiles/bench_model_scaling.dir/bench_model_scaling.cc.o"
+  "CMakeFiles/bench_model_scaling.dir/bench_model_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

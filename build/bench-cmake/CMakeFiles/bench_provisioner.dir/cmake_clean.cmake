@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_provisioner"
+  "../bench/bench_provisioner.pdb"
+  "CMakeFiles/bench_provisioner.dir/bench_provisioner.cc.o"
+  "CMakeFiles/bench_provisioner.dir/bench_provisioner.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_provisioner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_usecases"
+  "../bench/bench_table1_usecases.pdb"
+  "CMakeFiles/bench_table1_usecases.dir/bench_table1_usecases.cc.o"
+  "CMakeFiles/bench_table1_usecases.dir/bench_table1_usecases.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_usecases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

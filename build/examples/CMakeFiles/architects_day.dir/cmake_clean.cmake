@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/architects_day.dir/architects_day.cpp.o"
+  "CMakeFiles/architects_day.dir/architects_day.cpp.o.d"
+  "architects_day"
+  "architects_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/architects_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

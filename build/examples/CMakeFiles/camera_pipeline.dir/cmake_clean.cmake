@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camera_pipeline.dir/camera_pipeline.cpp.o"
+  "CMakeFiles/camera_pipeline.dir/camera_pipeline.cpp.o.d"
+  "camera_pipeline"
+  "camera_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camera_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

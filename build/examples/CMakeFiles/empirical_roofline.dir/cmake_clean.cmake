@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/empirical_roofline.dir/empirical_roofline.cpp.o"
+  "CMakeFiles/empirical_roofline.dir/empirical_roofline.cpp.o.d"
+  "empirical_roofline"
+  "empirical_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/empirical_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

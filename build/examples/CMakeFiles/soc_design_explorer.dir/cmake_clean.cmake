@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_design_explorer.dir/soc_design_explorer.cpp.o"
+  "CMakeFiles/soc_design_explorer.dir/soc_design_explorer.cpp.o.d"
+  "soc_design_explorer"
+  "soc_design_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_design_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

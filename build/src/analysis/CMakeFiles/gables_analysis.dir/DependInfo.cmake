@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/advisor.cc" "src/analysis/CMakeFiles/gables_analysis.dir/advisor.cc.o" "gcc" "src/analysis/CMakeFiles/gables_analysis.dir/advisor.cc.o.d"
+  "/root/repo/src/analysis/balance.cc" "src/analysis/CMakeFiles/gables_analysis.dir/balance.cc.o" "gcc" "src/analysis/CMakeFiles/gables_analysis.dir/balance.cc.o.d"
+  "/root/repo/src/analysis/explorer.cc" "src/analysis/CMakeFiles/gables_analysis.dir/explorer.cc.o" "gcc" "src/analysis/CMakeFiles/gables_analysis.dir/explorer.cc.o.d"
+  "/root/repo/src/analysis/optimal_split.cc" "src/analysis/CMakeFiles/gables_analysis.dir/optimal_split.cc.o" "gcc" "src/analysis/CMakeFiles/gables_analysis.dir/optimal_split.cc.o.d"
+  "/root/repo/src/analysis/provisioner.cc" "src/analysis/CMakeFiles/gables_analysis.dir/provisioner.cc.o" "gcc" "src/analysis/CMakeFiles/gables_analysis.dir/provisioner.cc.o.d"
+  "/root/repo/src/analysis/robustness.cc" "src/analysis/CMakeFiles/gables_analysis.dir/robustness.cc.o" "gcc" "src/analysis/CMakeFiles/gables_analysis.dir/robustness.cc.o.d"
+  "/root/repo/src/analysis/sensitivity.cc" "src/analysis/CMakeFiles/gables_analysis.dir/sensitivity.cc.o" "gcc" "src/analysis/CMakeFiles/gables_analysis.dir/sensitivity.cc.o.d"
+  "/root/repo/src/analysis/sweep.cc" "src/analysis/CMakeFiles/gables_analysis.dir/sweep.cc.o" "gcc" "src/analysis/CMakeFiles/gables_analysis.dir/sweep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gables_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gables_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gables_analysis.dir/advisor.cc.o"
+  "CMakeFiles/gables_analysis.dir/advisor.cc.o.d"
+  "CMakeFiles/gables_analysis.dir/balance.cc.o"
+  "CMakeFiles/gables_analysis.dir/balance.cc.o.d"
+  "CMakeFiles/gables_analysis.dir/explorer.cc.o"
+  "CMakeFiles/gables_analysis.dir/explorer.cc.o.d"
+  "CMakeFiles/gables_analysis.dir/optimal_split.cc.o"
+  "CMakeFiles/gables_analysis.dir/optimal_split.cc.o.d"
+  "CMakeFiles/gables_analysis.dir/provisioner.cc.o"
+  "CMakeFiles/gables_analysis.dir/provisioner.cc.o.d"
+  "CMakeFiles/gables_analysis.dir/robustness.cc.o"
+  "CMakeFiles/gables_analysis.dir/robustness.cc.o.d"
+  "CMakeFiles/gables_analysis.dir/sensitivity.cc.o"
+  "CMakeFiles/gables_analysis.dir/sensitivity.cc.o.d"
+  "CMakeFiles/gables_analysis.dir/sweep.cc.o"
+  "CMakeFiles/gables_analysis.dir/sweep.cc.o.d"
+  "libgables_analysis.a"
+  "libgables_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gables_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgables_analysis.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gables.dir/gables_main.cc.o"
+  "CMakeFiles/gables.dir/gables_main.cc.o.d"
+  "gables"
+  "gables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/amdahl.cc" "src/core/CMakeFiles/gables_core.dir/amdahl.cc.o" "gcc" "src/core/CMakeFiles/gables_core.dir/amdahl.cc.o.d"
+  "/root/repo/src/core/combined.cc" "src/core/CMakeFiles/gables_core.dir/combined.cc.o" "gcc" "src/core/CMakeFiles/gables_core.dir/combined.cc.o.d"
+  "/root/repo/src/core/energy.cc" "src/core/CMakeFiles/gables_core.dir/energy.cc.o" "gcc" "src/core/CMakeFiles/gables_core.dir/energy.cc.o.d"
+  "/root/repo/src/core/gables.cc" "src/core/CMakeFiles/gables_core.dir/gables.cc.o" "gcc" "src/core/CMakeFiles/gables_core.dir/gables.cc.o.d"
+  "/root/repo/src/core/interconnect.cc" "src/core/CMakeFiles/gables_core.dir/interconnect.cc.o" "gcc" "src/core/CMakeFiles/gables_core.dir/interconnect.cc.o.d"
+  "/root/repo/src/core/logca.cc" "src/core/CMakeFiles/gables_core.dir/logca.cc.o" "gcc" "src/core/CMakeFiles/gables_core.dir/logca.cc.o.d"
+  "/root/repo/src/core/memside.cc" "src/core/CMakeFiles/gables_core.dir/memside.cc.o" "gcc" "src/core/CMakeFiles/gables_core.dir/memside.cc.o.d"
+  "/root/repo/src/core/multiamdahl.cc" "src/core/CMakeFiles/gables_core.dir/multiamdahl.cc.o" "gcc" "src/core/CMakeFiles/gables_core.dir/multiamdahl.cc.o.d"
+  "/root/repo/src/core/phased.cc" "src/core/CMakeFiles/gables_core.dir/phased.cc.o" "gcc" "src/core/CMakeFiles/gables_core.dir/phased.cc.o.d"
+  "/root/repo/src/core/roofline.cc" "src/core/CMakeFiles/gables_core.dir/roofline.cc.o" "gcc" "src/core/CMakeFiles/gables_core.dir/roofline.cc.o.d"
+  "/root/repo/src/core/serialize.cc" "src/core/CMakeFiles/gables_core.dir/serialize.cc.o" "gcc" "src/core/CMakeFiles/gables_core.dir/serialize.cc.o.d"
+  "/root/repo/src/core/serialized.cc" "src/core/CMakeFiles/gables_core.dir/serialized.cc.o" "gcc" "src/core/CMakeFiles/gables_core.dir/serialized.cc.o.d"
+  "/root/repo/src/core/soc_spec.cc" "src/core/CMakeFiles/gables_core.dir/soc_spec.cc.o" "gcc" "src/core/CMakeFiles/gables_core.dir/soc_spec.cc.o.d"
+  "/root/repo/src/core/usecase.cc" "src/core/CMakeFiles/gables_core.dir/usecase.cc.o" "gcc" "src/core/CMakeFiles/gables_core.dir/usecase.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gables_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

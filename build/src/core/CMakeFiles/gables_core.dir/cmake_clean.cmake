@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gables_core.dir/amdahl.cc.o"
+  "CMakeFiles/gables_core.dir/amdahl.cc.o.d"
+  "CMakeFiles/gables_core.dir/combined.cc.o"
+  "CMakeFiles/gables_core.dir/combined.cc.o.d"
+  "CMakeFiles/gables_core.dir/energy.cc.o"
+  "CMakeFiles/gables_core.dir/energy.cc.o.d"
+  "CMakeFiles/gables_core.dir/gables.cc.o"
+  "CMakeFiles/gables_core.dir/gables.cc.o.d"
+  "CMakeFiles/gables_core.dir/interconnect.cc.o"
+  "CMakeFiles/gables_core.dir/interconnect.cc.o.d"
+  "CMakeFiles/gables_core.dir/logca.cc.o"
+  "CMakeFiles/gables_core.dir/logca.cc.o.d"
+  "CMakeFiles/gables_core.dir/memside.cc.o"
+  "CMakeFiles/gables_core.dir/memside.cc.o.d"
+  "CMakeFiles/gables_core.dir/multiamdahl.cc.o"
+  "CMakeFiles/gables_core.dir/multiamdahl.cc.o.d"
+  "CMakeFiles/gables_core.dir/phased.cc.o"
+  "CMakeFiles/gables_core.dir/phased.cc.o.d"
+  "CMakeFiles/gables_core.dir/roofline.cc.o"
+  "CMakeFiles/gables_core.dir/roofline.cc.o.d"
+  "CMakeFiles/gables_core.dir/serialize.cc.o"
+  "CMakeFiles/gables_core.dir/serialize.cc.o.d"
+  "CMakeFiles/gables_core.dir/serialized.cc.o"
+  "CMakeFiles/gables_core.dir/serialized.cc.o.d"
+  "CMakeFiles/gables_core.dir/soc_spec.cc.o"
+  "CMakeFiles/gables_core.dir/soc_spec.cc.o.d"
+  "CMakeFiles/gables_core.dir/usecase.cc.o"
+  "CMakeFiles/gables_core.dir/usecase.cc.o.d"
+  "libgables_core.a"
+  "libgables_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gables_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ert/ert.cc" "src/ert/CMakeFiles/gables_ert.dir/ert.cc.o" "gcc" "src/ert/CMakeFiles/gables_ert.dir/ert.cc.o.d"
+  "/root/repo/src/ert/fitter.cc" "src/ert/CMakeFiles/gables_ert.dir/fitter.cc.o" "gcc" "src/ert/CMakeFiles/gables_ert.dir/fitter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/gables_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gables_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gables_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gables_ert.dir/ert.cc.o"
+  "CMakeFiles/gables_ert.dir/ert.cc.o.d"
+  "CMakeFiles/gables_ert.dir/fitter.cc.o"
+  "CMakeFiles/gables_ert.dir/fitter.cc.o.d"
+  "libgables_ert.a"
+  "libgables_ert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gables_ert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plot/ascii.cc" "src/plot/CMakeFiles/gables_plot.dir/ascii.cc.o" "gcc" "src/plot/CMakeFiles/gables_plot.dir/ascii.cc.o.d"
+  "/root/repo/src/plot/axes.cc" "src/plot/CMakeFiles/gables_plot.dir/axes.cc.o" "gcc" "src/plot/CMakeFiles/gables_plot.dir/axes.cc.o.d"
+  "/root/repo/src/plot/heatmap.cc" "src/plot/CMakeFiles/gables_plot.dir/heatmap.cc.o" "gcc" "src/plot/CMakeFiles/gables_plot.dir/heatmap.cc.o.d"
+  "/root/repo/src/plot/roofline_plot.cc" "src/plot/CMakeFiles/gables_plot.dir/roofline_plot.cc.o" "gcc" "src/plot/CMakeFiles/gables_plot.dir/roofline_plot.cc.o.d"
+  "/root/repo/src/plot/series_plot.cc" "src/plot/CMakeFiles/gables_plot.dir/series_plot.cc.o" "gcc" "src/plot/CMakeFiles/gables_plot.dir/series_plot.cc.o.d"
+  "/root/repo/src/plot/svg.cc" "src/plot/CMakeFiles/gables_plot.dir/svg.cc.o" "gcc" "src/plot/CMakeFiles/gables_plot.dir/svg.cc.o.d"
+  "/root/repo/src/plot/viz_export.cc" "src/plot/CMakeFiles/gables_plot.dir/viz_export.cc.o" "gcc" "src/plot/CMakeFiles/gables_plot.dir/viz_export.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gables_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gables_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gables_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

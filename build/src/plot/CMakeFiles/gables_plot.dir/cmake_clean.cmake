@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gables_plot.dir/ascii.cc.o"
+  "CMakeFiles/gables_plot.dir/ascii.cc.o.d"
+  "CMakeFiles/gables_plot.dir/axes.cc.o"
+  "CMakeFiles/gables_plot.dir/axes.cc.o.d"
+  "CMakeFiles/gables_plot.dir/heatmap.cc.o"
+  "CMakeFiles/gables_plot.dir/heatmap.cc.o.d"
+  "CMakeFiles/gables_plot.dir/roofline_plot.cc.o"
+  "CMakeFiles/gables_plot.dir/roofline_plot.cc.o.d"
+  "CMakeFiles/gables_plot.dir/series_plot.cc.o"
+  "CMakeFiles/gables_plot.dir/series_plot.cc.o.d"
+  "CMakeFiles/gables_plot.dir/svg.cc.o"
+  "CMakeFiles/gables_plot.dir/svg.cc.o.d"
+  "CMakeFiles/gables_plot.dir/viz_export.cc.o"
+  "CMakeFiles/gables_plot.dir/viz_export.cc.o.d"
+  "libgables_plot.a"
+  "libgables_plot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gables_plot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/gables_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/gables_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/ip_engine.cc" "src/sim/CMakeFiles/gables_sim.dir/ip_engine.cc.o" "gcc" "src/sim/CMakeFiles/gables_sim.dir/ip_engine.cc.o.d"
+  "/root/repo/src/sim/memory_system.cc" "src/sim/CMakeFiles/gables_sim.dir/memory_system.cc.o" "gcc" "src/sim/CMakeFiles/gables_sim.dir/memory_system.cc.o.d"
+  "/root/repo/src/sim/resource.cc" "src/sim/CMakeFiles/gables_sim.dir/resource.cc.o" "gcc" "src/sim/CMakeFiles/gables_sim.dir/resource.cc.o.d"
+  "/root/repo/src/sim/soc.cc" "src/sim/CMakeFiles/gables_sim.dir/soc.cc.o" "gcc" "src/sim/CMakeFiles/gables_sim.dir/soc.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/gables_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/gables_sim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gables_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gables_sim.dir/event_queue.cc.o"
+  "CMakeFiles/gables_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/gables_sim.dir/ip_engine.cc.o"
+  "CMakeFiles/gables_sim.dir/ip_engine.cc.o.d"
+  "CMakeFiles/gables_sim.dir/memory_system.cc.o"
+  "CMakeFiles/gables_sim.dir/memory_system.cc.o.d"
+  "CMakeFiles/gables_sim.dir/resource.cc.o"
+  "CMakeFiles/gables_sim.dir/resource.cc.o.d"
+  "CMakeFiles/gables_sim.dir/soc.cc.o"
+  "CMakeFiles/gables_sim.dir/soc.cc.o.d"
+  "CMakeFiles/gables_sim.dir/trace.cc.o"
+  "CMakeFiles/gables_sim.dir/trace.cc.o.d"
+  "libgables_sim.a"
+  "libgables_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gables_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soc/catalog.cc" "src/soc/CMakeFiles/gables_soc.dir/catalog.cc.o" "gcc" "src/soc/CMakeFiles/gables_soc.dir/catalog.cc.o.d"
+  "/root/repo/src/soc/config.cc" "src/soc/CMakeFiles/gables_soc.dir/config.cc.o" "gcc" "src/soc/CMakeFiles/gables_soc.dir/config.cc.o.d"
+  "/root/repo/src/soc/dataflow.cc" "src/soc/CMakeFiles/gables_soc.dir/dataflow.cc.o" "gcc" "src/soc/CMakeFiles/gables_soc.dir/dataflow.cc.o.d"
+  "/root/repo/src/soc/market_data.cc" "src/soc/CMakeFiles/gables_soc.dir/market_data.cc.o" "gcc" "src/soc/CMakeFiles/gables_soc.dir/market_data.cc.o.d"
+  "/root/repo/src/soc/pipeline.cc" "src/soc/CMakeFiles/gables_soc.dir/pipeline.cc.o" "gcc" "src/soc/CMakeFiles/gables_soc.dir/pipeline.cc.o.d"
+  "/root/repo/src/soc/usecases.cc" "src/soc/CMakeFiles/gables_soc.dir/usecases.cc.o" "gcc" "src/soc/CMakeFiles/gables_soc.dir/usecases.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gables_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gables_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gables_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gables_soc.dir/catalog.cc.o"
+  "CMakeFiles/gables_soc.dir/catalog.cc.o.d"
+  "CMakeFiles/gables_soc.dir/config.cc.o"
+  "CMakeFiles/gables_soc.dir/config.cc.o.d"
+  "CMakeFiles/gables_soc.dir/dataflow.cc.o"
+  "CMakeFiles/gables_soc.dir/dataflow.cc.o.d"
+  "CMakeFiles/gables_soc.dir/market_data.cc.o"
+  "CMakeFiles/gables_soc.dir/market_data.cc.o.d"
+  "CMakeFiles/gables_soc.dir/pipeline.cc.o"
+  "CMakeFiles/gables_soc.dir/pipeline.cc.o.d"
+  "CMakeFiles/gables_soc.dir/usecases.cc.o"
+  "CMakeFiles/gables_soc.dir/usecases.cc.o.d"
+  "libgables_soc.a"
+  "libgables_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gables_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/arg_parser.cc" "src/util/CMakeFiles/gables_util.dir/arg_parser.cc.o" "gcc" "src/util/CMakeFiles/gables_util.dir/arg_parser.cc.o.d"
+  "/root/repo/src/util/csv.cc" "src/util/CMakeFiles/gables_util.dir/csv.cc.o" "gcc" "src/util/CMakeFiles/gables_util.dir/csv.cc.o.d"
+  "/root/repo/src/util/json_writer.cc" "src/util/CMakeFiles/gables_util.dir/json_writer.cc.o" "gcc" "src/util/CMakeFiles/gables_util.dir/json_writer.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/util/CMakeFiles/gables_util.dir/logging.cc.o" "gcc" "src/util/CMakeFiles/gables_util.dir/logging.cc.o.d"
+  "/root/repo/src/util/math_util.cc" "src/util/CMakeFiles/gables_util.dir/math_util.cc.o" "gcc" "src/util/CMakeFiles/gables_util.dir/math_util.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/util/CMakeFiles/gables_util.dir/rng.cc.o" "gcc" "src/util/CMakeFiles/gables_util.dir/rng.cc.o.d"
+  "/root/repo/src/util/strings.cc" "src/util/CMakeFiles/gables_util.dir/strings.cc.o" "gcc" "src/util/CMakeFiles/gables_util.dir/strings.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/util/CMakeFiles/gables_util.dir/table.cc.o" "gcc" "src/util/CMakeFiles/gables_util.dir/table.cc.o.d"
+  "/root/repo/src/util/units.cc" "src/util/CMakeFiles/gables_util.dir/units.cc.o" "gcc" "src/util/CMakeFiles/gables_util.dir/units.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gables_util.dir/arg_parser.cc.o"
+  "CMakeFiles/gables_util.dir/arg_parser.cc.o.d"
+  "CMakeFiles/gables_util.dir/csv.cc.o"
+  "CMakeFiles/gables_util.dir/csv.cc.o.d"
+  "CMakeFiles/gables_util.dir/json_writer.cc.o"
+  "CMakeFiles/gables_util.dir/json_writer.cc.o.d"
+  "CMakeFiles/gables_util.dir/logging.cc.o"
+  "CMakeFiles/gables_util.dir/logging.cc.o.d"
+  "CMakeFiles/gables_util.dir/math_util.cc.o"
+  "CMakeFiles/gables_util.dir/math_util.cc.o.d"
+  "CMakeFiles/gables_util.dir/rng.cc.o"
+  "CMakeFiles/gables_util.dir/rng.cc.o.d"
+  "CMakeFiles/gables_util.dir/strings.cc.o"
+  "CMakeFiles/gables_util.dir/strings.cc.o.d"
+  "CMakeFiles/gables_util.dir/table.cc.o"
+  "CMakeFiles/gables_util.dir/table.cc.o.d"
+  "CMakeFiles/gables_util.dir/units.cc.o"
+  "CMakeFiles/gables_util.dir/units.cc.o.d"
+  "libgables_util.a"
+  "libgables_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gables_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

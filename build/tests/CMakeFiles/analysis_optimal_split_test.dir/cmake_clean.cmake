@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_optimal_split_test.dir/analysis_optimal_split_test.cc.o"
+  "CMakeFiles/analysis_optimal_split_test.dir/analysis_optimal_split_test.cc.o.d"
+  "analysis_optimal_split_test"
+  "analysis_optimal_split_test.pdb"
+  "analysis_optimal_split_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_optimal_split_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_provisioner_test.dir/analysis_provisioner_test.cc.o"
+  "CMakeFiles/analysis_provisioner_test.dir/analysis_provisioner_test.cc.o.d"
+  "analysis_provisioner_test"
+  "analysis_provisioner_test.pdb"
+  "analysis_provisioner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_provisioner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

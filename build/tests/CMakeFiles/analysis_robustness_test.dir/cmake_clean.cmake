@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_robustness_test.dir/analysis_robustness_test.cc.o"
+  "CMakeFiles/analysis_robustness_test.dir/analysis_robustness_test.cc.o.d"
+  "analysis_robustness_test"
+  "analysis_robustness_test.pdb"
+  "analysis_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_sensitivity_test.dir/analysis_sensitivity_test.cc.o"
+  "CMakeFiles/analysis_sensitivity_test.dir/analysis_sensitivity_test.cc.o.d"
+  "analysis_sensitivity_test"
+  "analysis_sensitivity_test.pdb"
+  "analysis_sensitivity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_sensitivity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_appendix_test.dir/core_appendix_test.cc.o"
+  "CMakeFiles/core_appendix_test.dir/core_appendix_test.cc.o.d"
+  "core_appendix_test"
+  "core_appendix_test.pdb"
+  "core_appendix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_appendix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_combined_test.dir/core_combined_test.cc.o"
+  "CMakeFiles/core_combined_test.dir/core_combined_test.cc.o.d"
+  "core_combined_test"
+  "core_combined_test.pdb"
+  "core_combined_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_combined_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_extremes_test.dir/core_extremes_test.cc.o"
+  "CMakeFiles/core_extremes_test.dir/core_extremes_test.cc.o.d"
+  "core_extremes_test"
+  "core_extremes_test.pdb"
+  "core_extremes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_extremes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_logca_test.dir/core_logca_test.cc.o"
+  "CMakeFiles/core_logca_test.dir/core_logca_test.cc.o.d"
+  "core_logca_test"
+  "core_logca_test.pdb"
+  "core_logca_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_logca_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

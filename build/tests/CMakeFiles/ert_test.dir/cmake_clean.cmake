@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ert_test.dir/ert_test.cc.o"
+  "CMakeFiles/ert_test.dir/ert_test.cc.o.d"
+  "ert_test"
+  "ert_test.pdb"
+  "ert_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ert_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

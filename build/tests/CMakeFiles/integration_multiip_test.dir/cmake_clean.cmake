@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_multiip_test.dir/integration_multiip_test.cc.o"
+  "CMakeFiles/integration_multiip_test.dir/integration_multiip_test.cc.o.d"
+  "integration_multiip_test"
+  "integration_multiip_test.pdb"
+  "integration_multiip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_multiip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plot_heatmap_test.dir/plot_heatmap_test.cc.o"
+  "CMakeFiles/plot_heatmap_test.dir/plot_heatmap_test.cc.o.d"
+  "plot_heatmap_test"
+  "plot_heatmap_test.pdb"
+  "plot_heatmap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plot_heatmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

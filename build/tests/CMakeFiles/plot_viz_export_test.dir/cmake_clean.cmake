@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plot_viz_export_test.dir/plot_viz_export_test.cc.o"
+  "CMakeFiles/plot_viz_export_test.dir/plot_viz_export_test.cc.o.d"
+  "plot_viz_export_test"
+  "plot_viz_export_test.pdb"
+  "plot_viz_export_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plot_viz_export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

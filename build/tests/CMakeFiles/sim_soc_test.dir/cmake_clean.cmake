@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_soc_test.dir/sim_soc_test.cc.o"
+  "CMakeFiles/sim_soc_test.dir/sim_soc_test.cc.o.d"
+  "sim_soc_test"
+  "sim_soc_test.pdb"
+  "sim_soc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_soc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/soc_dataflow_test.cc" "tests/CMakeFiles/soc_dataflow_test.dir/soc_dataflow_test.cc.o" "gcc" "tests/CMakeFiles/soc_dataflow_test.dir/soc_dataflow_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/gables_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gables_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ert/CMakeFiles/gables_ert.dir/DependInfo.cmake"
+  "/root/repo/build/src/plot/CMakeFiles/gables_plot.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gables_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/gables_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gables_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_usecases_extended_test.dir/soc_usecases_extended_test.cc.o"
+  "CMakeFiles/soc_usecases_extended_test.dir/soc_usecases_extended_test.cc.o.d"
+  "soc_usecases_extended_test"
+  "soc_usecases_extended_test.pdb"
+  "soc_usecases_extended_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_usecases_extended_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

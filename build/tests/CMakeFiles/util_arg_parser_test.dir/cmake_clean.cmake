@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_arg_parser_test.dir/util_arg_parser_test.cc.o"
+  "CMakeFiles/util_arg_parser_test.dir/util_arg_parser_test.cc.o.d"
+  "util_arg_parser_test"
+  "util_arg_parser_test.pdb"
+  "util_arg_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_arg_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
