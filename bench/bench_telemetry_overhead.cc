@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Telemetry cost accounting: the stats registry and epoch sampling
+ * are observational, so the question is only how much wall-clock
+ * they add to a run, never whether they change its results. Measures
+ * bare runs, instrumented runs, and instrumented runs with epoch
+ * sampling, plus the raw per-sample cost of the stat primitives.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "sim/soc.h"
+#include "soc/catalog.h"
+#include "telemetry/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace gables;
+
+sim::KernelJob
+benchJob()
+{
+    sim::KernelJob job;
+    job.workingSetBytes = 16e6;
+    job.totalBytes = 16e6;
+    job.opsPerByte = 1.0;
+    return job;
+}
+
+void
+reproduce()
+{
+    bench::banner("Telemetry overhead",
+                  "instrumented vs bare simulation runs");
+    // Sanity line for the report: the instrumented run's results are
+    // bit-identical to the bare run's, so overhead is the only cost.
+    auto bare = SocCatalog::snapdragon835Sim();
+    auto inst = SocCatalog::snapdragon835Sim();
+    telemetry::StatsRegistry reg;
+    inst->attachTelemetry(&reg);
+    sim::KernelJob job = benchJob();
+    double a = bare->run({{"CPU", job}}).duration;
+    double b = inst->run({{"CPU", job}}, 32).duration;
+    std::cout << "bit-identical durations: "
+              << (a == b ? "yes" : "NO — INVARIANT BROKEN") << " ("
+              << reg.size() << " stats registered)\n";
+}
+
+void
+BM_RunBare(benchmark::State &state)
+{
+    auto soc = SocCatalog::snapdragon835Sim();
+    sim::KernelJob job = benchJob();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(soc->run({{"CPU", job}}).duration);
+}
+BENCHMARK(BM_RunBare)->Unit(benchmark::kMillisecond);
+
+void
+BM_RunWithRegistry(benchmark::State &state)
+{
+    auto soc = SocCatalog::snapdragon835Sim();
+    telemetry::StatsRegistry reg;
+    soc->attachTelemetry(&reg);
+    sim::KernelJob job = benchJob();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(soc->run({{"CPU", job}}).duration);
+}
+BENCHMARK(BM_RunWithRegistry)->Unit(benchmark::kMillisecond);
+
+void
+BM_RunWithRegistryAndEpochs(benchmark::State &state)
+{
+    auto soc = SocCatalog::snapdragon835Sim();
+    telemetry::StatsRegistry reg;
+    soc->attachTelemetry(&reg);
+    sim::KernelJob job = benchJob();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            soc->run({{"CPU", job}}, 64).duration);
+}
+BENCHMARK(BM_RunWithRegistryAndEpochs)->Unit(benchmark::kMillisecond);
+
+void
+BM_DistributionSample(benchmark::State &state)
+{
+    telemetry::Distribution d;
+    double v = 0.0;
+    for (auto _ : state) {
+        d.sample(v);
+        v += 1.0;
+    }
+    benchmark::DoNotOptimize(d.stddev());
+}
+BENCHMARK(BM_DistributionSample);
+
+void
+BM_HistogramSample(benchmark::State &state)
+{
+    telemetry::Histogram h(0.0, 64.0, 16);
+    double v = 0.0;
+    for (auto _ : state) {
+        h.sample(v);
+        v = v < 64.0 ? v + 1.0 : 0.0;
+    }
+    benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_HistogramSample);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    reproduce();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -6,9 +6,12 @@
  * stand-in for the paper's interactive visualizer and Android app.
  */
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "analysis/advisor.h"
 #include "analysis/balance.h"
@@ -27,6 +30,8 @@
 #include "soc/config.h"
 #include "soc/pipeline.h"
 #include "soc/usecases.h"
+#include "telemetry/report.h"
+#include "telemetry/stats.h"
 #include "util/arg_parser.h"
 #include "util/logging.h"
 #include "util/strings.h"
@@ -158,6 +163,9 @@ cmdSweep(int argc, const char *const *argv)
     args.addOption("i1", "intensity at IP[1]", "1");
     args.addOption("points", "number of f points", "9");
     args.addFlag("ascii", "plot the sweep as ASCII");
+    args.addOption("metrics",
+                   "write a run-report JSON with the sweep series "
+                   "to this path");
     if (!args.parse(argc, argv, std::cerr))
         return 1;
 
@@ -180,6 +188,189 @@ cmdSweep(int argc, const char *const *argv)
                         "fraction f at IP[1]", "normalized perf");
         plot.addSeries(series);
         std::cout << plot.renderAscii();
+    }
+    if (args.has("metrics")) {
+        telemetry::StatsRegistry reg;
+        telemetry::TimeSeries &ts = reg.timeSeries(
+            "mixing.normalized_perf",
+            "normalized attainable vs fraction f at IP[1]");
+        for (size_t i = 0; i < series.x.size(); ++i)
+            ts.sample(series.x[i], series.y[i]);
+
+        telemetry::RunReport report("gables sweep", soc.name());
+        report.addConfig("soc", args.getString("soc", "sd835"));
+        report.addConfig("i0", args.getDouble("i0", 1.0));
+        report.addConfig("i1", args.getDouble("i1", 1.0));
+        report.addConfig("points", n);
+        report.setRegistry(&reg);
+
+        std::string path = args.getString("metrics");
+        std::ofstream out(path);
+        if (!out)
+            fatal("cannot open '" + path + "'");
+        report.write(out);
+        std::cout << "wrote " << path << '\n';
+    }
+    return 0;
+}
+
+int
+cmdSim(int argc, const char *const *argv)
+{
+    ArgParser args("gables sim",
+                   "discrete-event simulation of a catalog SoC with "
+                   "full telemetry: metrics JSON and Perfetto trace");
+    args.addOption("soc",
+                   "catalog SoC (sd835, sd821 use the calibrated "
+                   "sims; other names go through the spec bridge)",
+                   "sd835");
+    args.addOption("engines",
+                   "comma-separated engine names (default: all)");
+    args.addOption("working-set", "working-set bytes per engine",
+                   "67108864");
+    args.addOption("bytes", "total bytes streamed per engine",
+                   "67108864");
+    args.addOption("intensity", "ops per byte (the roofline knob)",
+                   "1");
+    args.addOption("epochs",
+                   "time slices for utilization-vs-time series",
+                   "32");
+    args.addOption("metrics", "write the run-report JSON to this "
+                              "path");
+    args.addOption("trace",
+                   "write a Perfetto/chrome://tracing JSON to this "
+                   "path");
+    if (!args.parse(argc, argv, std::cerr))
+        return 1;
+
+    std::string soc_name = args.getString("soc", "sd835");
+    std::unique_ptr<sim::SimSoc> soc;
+    SocSpec spec = resolveSoc("paper");
+    if (soc_name == "sd835" || soc_name.empty()) {
+        soc = SocCatalog::snapdragon835Sim();
+        spec = SocCatalog::snapdragon835();
+    } else if (soc_name == "sd821") {
+        soc = SocCatalog::snapdragon821Sim();
+        spec = SocCatalog::snapdragon821();
+    } else {
+        spec = resolveSoc(soc_name);
+        soc = SocCatalog::simFromSpec(spec);
+    }
+
+    std::vector<std::string> engines;
+    if (args.has("engines")) {
+        for (const std::string &e :
+             split(args.getString("engines"), ','))
+            if (!e.empty())
+                engines.push_back(e);
+        if (engines.empty())
+            fatal("--engines names no engines");
+    } else {
+        for (size_t i = 0; i < spec.numIps(); ++i)
+            engines.push_back(spec.ip(i).name);
+    }
+
+    telemetry::StatsRegistry reg;
+    soc->attachTelemetry(&reg);
+    sim::TraceRecorder trace;
+    if (args.has("trace"))
+        soc->attachTracer(&trace);
+
+    sim::KernelJob job;
+    job.workingSetBytes = args.getDouble("working-set", 64.0 * 1024 * 1024);
+    job.totalBytes = args.getDouble("bytes", 64.0 * 1024 * 1024);
+    job.opsPerByte = args.getDouble("intensity", 1.0);
+    std::vector<sim::SimSoc::JobSubmission> jobs;
+    for (const std::string &e : engines)
+        jobs.push_back({e, job});
+
+    long epochs = args.getInt("epochs", 32);
+    if (epochs < 1 || epochs > 1000000)
+        fatal("--epochs must be in [1, 1000000]");
+    inform("sim: " + soc->name() + ", " +
+           std::to_string(engines.size()) + " engine(s), " +
+           std::to_string(epochs) + " epochs" +
+           (args.has("trace") ? ", tracing" : ""));
+    sim::SocRunStats stats =
+        soc->run(jobs, static_cast<int>(epochs));
+
+    std::cout << soc->name() << ": "
+              << formatDouble(stats.duration * 1e3, 3)
+              << " ms simulated, aggregate "
+              << formatOpsRate(stats.aggregateOpsRate()) << '\n';
+    TextTable et({"engine", "ops/s", "bytes/s", "DRAM bytes/s"});
+    for (const sim::EngineRunStats &e : stats.engines) {
+        et.addRow({e.name, formatOpsRate(e.achievedOpsRate()),
+                   formatByteRate(e.achievedByteRate()),
+                   formatByteRate(e.achievedMissRate())});
+    }
+    std::cout << et.render();
+    TextTable rt({"resource", "util", "mean wait", "max queue"});
+    for (const sim::ResourceStats &r : stats.resources) {
+        const telemetry::Distribution *wait =
+            reg.findDistribution(r.name + ".wait_time");
+        const telemetry::Distribution *depth =
+            reg.findDistribution(r.name + ".queue_depth");
+        rt.addRow({r.name, formatDouble(r.utilization, 3),
+                   wait ? formatDouble(wait->mean() * 1e9, 1) + "n"
+                        : "-",
+                   depth ? formatDouble(depth->max(), 0) : "-"});
+    }
+    std::cout << rt.render();
+
+    if (args.has("trace")) {
+        std::string path = args.getString("trace");
+        std::ofstream out(path);
+        if (!out)
+            fatal("cannot open '" + path + "'");
+        trace.writeChromeTrace(out);
+        std::cout << "wrote " << path << " ("
+                  << trace.events().size() << " slices, "
+                  << trace.counterEvents().size()
+                  << " counter samples)\n";
+    }
+    if (args.has("metrics")) {
+        telemetry::RunReport report("gables sim", soc->name());
+        report.addConfig("soc", soc_name);
+        report.addConfig("engines", join(engines, ","));
+        report.addConfig("working_set_bytes", job.workingSetBytes);
+        report.addConfig("total_bytes", job.totalBytes);
+        report.addConfig("ops_per_byte", job.opsPerByte);
+        report.addConfig("epochs", epochs);
+        report.setDuration(stats.duration);
+        for (const sim::EngineRunStats &e : stats.engines) {
+            report.addEngine({e.name, e.ops, e.bytes, e.missBytes,
+                              e.achievedOpsRate()});
+            // Model-vs-sim: compare against the single-IP Gables
+            // bound min(Ai*Ppeak, I * min(Bi, Bpeak)); concurrent
+            // contention shows up as a negative delta.
+            bool found = false;
+            for (size_t i = 0; i < spec.numIps(); ++i) {
+                if (spec.ip(i).name != e.name)
+                    continue;
+                double bw =
+                    std::min(spec.ip(i).bandwidth, spec.bpeak());
+                double bound = std::min(spec.ipPeakPerf(i),
+                                        job.opsPerByte * bw);
+                report.addDelta(e.name, bound,
+                                e.achievedOpsRate());
+                found = true;
+            }
+            if (!found)
+                warn("no spec IP named '" + e.name +
+                     "'; skipping its model-vs-sim delta");
+        }
+        for (const sim::ResourceStats &r : stats.resources)
+            report.addResource(
+                {r.name, r.bytesServed, r.busyTime, r.utilization});
+        report.setRegistry(&reg);
+
+        std::string path = args.getString("metrics");
+        std::ofstream out(path);
+        if (!out)
+            fatal("cannot open '" + path + "'");
+        report.write(out);
+        std::cout << "wrote " << path << '\n';
     }
     return 0;
 }
@@ -564,10 +755,12 @@ cmdBalance(int argc, const char *const *argv)
 void
 usage(std::ostream &out)
 {
-    out << "usage: gables <command> [options]\n"
+    out << "usage: gables [--log-level L] <command> [options]\n"
            "commands:\n"
            "  eval      evaluate a usecase on a SoC\n"
            "  sweep     mixing sweep over the work fraction\n"
+           "  sim       simulate a SoC with telemetry (metrics JSON\n"
+           "            + Perfetto trace with counter tracks)\n"
            "  usecases  analyze the catalog usecases\n"
            "  ert       empirical roofline on the simulated chip\n"
            "  balance   balance report and sufficient bandwidths\n"
@@ -577,6 +770,9 @@ usage(std::ostream &out)
            "  explore   design-space exploration with Pareto output\n"
            "  provision shrink-to-fit inverse design for the catalog\n"
            "  glossary  the Gables parameter glossary (Table II)\n"
+           "global options:\n"
+           "  --log-level L  minimum severity written to stderr:\n"
+           "                 debug, info (default), warn, error\n"
            "run 'gables <command> --help' for per-command options\n";
 }
 
@@ -585,34 +781,63 @@ usage(std::ostream &out)
 int
 main(int argc, char **argv)
 {
-    if (argc < 2) {
+    // Strip the global --log-level option (valid anywhere on the
+    // command line) before command dispatch, so every subcommand
+    // honors it without declaring it.
+    std::vector<const char *> filtered;
+    try {
+        for (int i = 0; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg == "--log-level") {
+                if (i + 1 >= argc) {
+                    std::cerr << "gables: --log-level needs a value\n";
+                    return 1;
+                }
+                gables::setLogLevel(gables::parseLogLevel(argv[++i]));
+            } else if (arg.rfind("--log-level=", 0) == 0) {
+                gables::setLogLevel(gables::parseLogLevel(
+                    arg.substr(std::string("--log-level=").size())));
+            } else {
+                filtered.push_back(argv[i]);
+            }
+        }
+    } catch (const gables::FatalError &err) {
+        std::cerr << "gables: " << err.what() << '\n';
+        return 1;
+    }
+    int fargc = static_cast<int>(filtered.size());
+    const char *const *fargv = filtered.data();
+
+    if (fargc < 2) {
         usage(std::cerr);
         return 1;
     }
-    std::string cmd = argv[1];
+    std::string cmd = fargv[1];
     try {
         if (cmd == "eval")
-            return cmdEval(argc - 1, argv + 1);
+            return cmdEval(fargc - 1, fargv + 1);
         if (cmd == "sweep")
-            return cmdSweep(argc - 1, argv + 1);
+            return cmdSweep(fargc - 1, fargv + 1);
+        if (cmd == "sim")
+            return cmdSim(fargc - 1, fargv + 1);
         if (cmd == "usecases")
-            return cmdUsecases(argc - 1, argv + 1);
+            return cmdUsecases(fargc - 1, fargv + 1);
         if (cmd == "ert")
-            return cmdErt(argc - 1, argv + 1);
+            return cmdErt(fargc - 1, fargv + 1);
         if (cmd == "balance")
-            return cmdBalance(argc - 1, argv + 1);
+            return cmdBalance(fargc - 1, fargv + 1);
         if (cmd == "advise")
-            return cmdAdvise(argc - 1, argv + 1);
+            return cmdAdvise(fargc - 1, fargv + 1);
         if (cmd == "robust")
-            return cmdRobust(argc - 1, argv + 1);
+            return cmdRobust(fargc - 1, fargv + 1);
         if (cmd == "pipeline")
-            return cmdPipeline(argc - 1, argv + 1);
+            return cmdPipeline(fargc - 1, fargv + 1);
         if (cmd == "explore")
-            return cmdExplore(argc - 1, argv + 1);
+            return cmdExplore(fargc - 1, fargv + 1);
         if (cmd == "provision")
-            return cmdProvision(argc - 1, argv + 1);
+            return cmdProvision(fargc - 1, fargv + 1);
         if (cmd == "glossary")
-            return cmdGlossary(argc - 1, argv + 1);
+            return cmdGlossary(fargc - 1, fargv + 1);
         if (cmd == "--help" || cmd == "help") {
             usage(std::cout);
             return 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/stats.h"
 #include "util/logging.h"
 
 namespace gables {
@@ -81,6 +82,10 @@ IpEngine::issueRequests()
 
         double now = eq_->now();
         bool hit = local_ != nullptr && local_->nextIsHit();
+        if (issuedCount_ != nullptr) {
+            issuedCount_->add(1.0);
+            (hit ? hitRequests_ : missRequests_)->add(1.0);
+        }
         double completion;
         if (hit) {
             completion = local_->resource().acquire(now, bytes);
@@ -94,6 +99,8 @@ IpEngine::issueRequests()
                 double coord = coordinator_->acquireService(
                     now, job_.coordinationTime);
                 completion = std::max(completion, coord);
+                if (coordInterrupts_ != nullptr)
+                    coordInterrupts_->add(1.0);
             }
         }
         eq_->schedule(completion, [this, bytes, hit] {
@@ -122,9 +129,35 @@ IpEngine::onDataArrived(double chunk_bytes, bool was_miss)
 }
 
 void
+IpEngine::attachTelemetry(telemetry::StatsRegistry *registry)
+{
+    compute_.attachTelemetry(registry);
+    if (registry == nullptr) {
+        issuedCount_ = computedCount_ = nullptr;
+        hitRequests_ = missRequests_ = coordInterrupts_ = nullptr;
+        return;
+    }
+    const std::string &name = config_.name;
+    issuedCount_ = &registry->counter(name + ".chunks_issued",
+                                      "memory requests issued");
+    computedCount_ = &registry->counter(name + ".chunks_computed",
+                                        "chunks fully computed");
+    hitRequests_ = &registry->counter(name + ".hit_requests",
+                                      "requests served by the local "
+                                      "memory");
+    missRequests_ = &registry->counter(name + ".miss_requests",
+                                       "requests sent off-IP");
+    coordInterrupts_ = &registry->counter(
+        name + ".coord_interrupts",
+        "completion interrupts charged on the coordinator");
+}
+
+void
 IpEngine::onChunkComputed()
 {
     ++chunksComputed_;
+    if (computedCount_ != nullptr)
+        computedCount_->add(1.0);
     if (chunksComputed_ == chunksTotal_) {
         running_ = false;
         stats_.endTime = eq_->now();

@@ -25,6 +25,12 @@
 #include "sim/resource.h"
 
 namespace gables {
+
+namespace telemetry {
+class Counter;
+class StatsRegistry;
+} // namespace telemetry
+
 namespace sim {
 
 /** Static configuration of a simulated IP engine. */
@@ -133,6 +139,15 @@ class IpEngine
     /** @return True if a job is in flight. */
     bool busy() const { return running_; }
 
+    /**
+     * Attach a telemetry registry: registers per-engine issue
+     * counters ("<name>.chunks_issued", "<name>.chunks_computed"),
+     * hit/miss request counters, and a coordination-interrupt
+     * counter, plus the compute resource's standard stats. Pass
+     * nullptr to detach.
+     */
+    void attachTelemetry(telemetry::StatsRegistry *registry);
+
     /** Reset per-run state (the SoC resets resources separately). */
     void reset();
 
@@ -159,6 +174,13 @@ class IpEngine
     uint64_t chunksComputed_ = 0;
     int inFlight_ = 0;
     EngineRunStats stats_;
+
+    // Telemetry bindings (all null when detached).
+    telemetry::Counter *issuedCount_ = nullptr;
+    telemetry::Counter *computedCount_ = nullptr;
+    telemetry::Counter *hitRequests_ = nullptr;
+    telemetry::Counter *missRequests_ = nullptr;
+    telemetry::Counter *coordInterrupts_ = nullptr;
 };
 
 } // namespace sim

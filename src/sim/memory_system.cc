@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/stats.h"
 #include "util/logging.h"
 
 namespace gables {
@@ -56,9 +57,28 @@ LocalMemory::nextIsHit()
     accumulator_ += hitRatio_;
     if (accumulator_ >= 1.0 - 1e-12) {
         accumulator_ -= 1.0;
+        if (hitCount_ != nullptr)
+            hitCount_->add(1.0);
         return true;
     }
+    if (missCount_ != nullptr)
+        missCount_->add(1.0);
     return false;
+}
+
+void
+LocalMemory::attachTelemetry(telemetry::StatsRegistry *registry)
+{
+    resource_.attachTelemetry(registry);
+    if (registry == nullptr) {
+        hitCount_ = missCount_ = nullptr;
+        return;
+    }
+    const std::string &name = resource_.name();
+    hitCount_ = &registry->counter(name + ".hits",
+                                   "requests served locally");
+    missCount_ = &registry->counter(
+        name + ".misses", "requests sent down the memory path");
 }
 
 void

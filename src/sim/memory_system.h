@@ -16,6 +16,12 @@
 #include "sim/resource.h"
 
 namespace gables {
+
+namespace telemetry {
+class Counter;
+class StatsRegistry;
+} // namespace telemetry
+
 namespace sim {
 
 /**
@@ -95,6 +101,13 @@ class LocalMemory
      */
     bool nextIsHit();
 
+    /**
+     * Attach a telemetry registry: registers "<name>.hits" and
+     * "<name>.misses" counters bumped by nextIsHit(), and forwards
+     * to the hit-side resource. Pass nullptr to detach.
+     */
+    void attachTelemetry(telemetry::StatsRegistry *registry);
+
     /** Reset the accumulator and stats. */
     void reset();
 
@@ -103,6 +116,8 @@ class LocalMemory
     BandwidthResource resource_;
     double hitRatio_ = 0.0;
     double accumulator_ = 0.0;
+    telemetry::Counter *hitCount_ = nullptr;
+    telemetry::Counter *missCount_ = nullptr;
 };
 
 } // namespace sim

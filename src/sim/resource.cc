@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/trace.h"
+#include "telemetry/stats.h"
 #include "util/logging.h"
 
 namespace gables {
@@ -30,6 +31,7 @@ BandwidthResource::acquire(double arrival, double bytes)
     busyTime_ += service;
     bytesServed_ += bytes;
     ++requests_;
+    observe(arrival, start, service, bytes);
     return busyUntil_ + latency_;
 }
 
@@ -43,7 +45,63 @@ BandwidthResource::acquireService(double arrival, double service_seconds)
     busyUntil_ = start + service_seconds;
     busyTime_ += service_seconds;
     ++requests_;
+    observe(arrival, start, service_seconds, 0.0);
     return busyUntil_ + latency_;
+}
+
+void
+BandwidthResource::observe(double arrival, double start, double service,
+                           double bytes)
+{
+    if (registry_ == nullptr && tracer_ == nullptr)
+        return;
+
+    // Queue depth at this arrival: booked requests not yet drained,
+    // including the one just booked.
+    while (!inService_.empty() && inService_.front() <= arrival)
+        inService_.pop_front();
+    inService_.push_back(start + service);
+    double depth = static_cast<double>(inService_.size());
+
+    if (registry_ != nullptr) {
+        waitTime_->sample(start - arrival);
+        serviceTime_->sample(service);
+        queueDepth_->sample(depth);
+        queueDepthHist_->sample(depth);
+        requestCount_->add(1.0);
+        byteCount_->add(bytes);
+        serviceLog_.push_back(ServiceInterval{start, service, bytes});
+    }
+    if (tracer_ != nullptr)
+        tracer_->counter(name_ + ".queue", arrival, depth);
+}
+
+void
+BandwidthResource::attachTelemetry(telemetry::StatsRegistry *registry)
+{
+    registry_ = registry;
+    serviceLog_.clear();
+    inService_.clear();
+    if (registry == nullptr) {
+        waitTime_ = serviceTime_ = queueDepth_ = nullptr;
+        queueDepthHist_ = nullptr;
+        requestCount_ = byteCount_ = nullptr;
+        return;
+    }
+    waitTime_ = &registry->distribution(
+        name_ + ".wait_time",
+        "seconds a request waited between arrival and service start");
+    serviceTime_ = &registry->distribution(
+        name_ + ".service_time", "seconds of service per request");
+    queueDepth_ = &registry->distribution(
+        name_ + ".queue_depth",
+        "requests in service or queued, sampled at each arrival");
+    queueDepthHist_ = &registry->histogram(
+        name_ + ".queue_depth_hist", 0.0, 64.0, 16,
+        "queue-depth-at-arrival histogram");
+    requestCount_ =
+        &registry->counter(name_ + ".requests", "requests served");
+    byteCount_ = &registry->counter(name_ + ".bytes", "bytes served");
 }
 
 double
@@ -61,6 +119,8 @@ BandwidthResource::reset()
     bytesServed_ = 0.0;
     busyTime_ = 0.0;
     requests_ = 0;
+    serviceLog_.clear();
+    inService_.clear();
 }
 
 } // namespace sim

@@ -12,9 +12,19 @@
 #define GABLES_SIM_RESOURCE_H
 
 #include <cstdint>
+#include <deque>
 #include <string>
+#include <vector>
 
 namespace gables {
+
+namespace telemetry {
+class Counter;
+class Distribution;
+class Histogram;
+class StatsRegistry;
+} // namespace telemetry
+
 namespace sim {
 
 class TraceRecorder;
@@ -88,11 +98,44 @@ class BandwidthResource
 
     /**
      * Attach a trace recorder: every subsequent service interval is
-     * recorded under this resource's name. Pass nullptr to detach.
+     * recorded under this resource's name, and a "<name>.queue"
+     * counter track samples the queue depth at each arrival. Pass
+     * nullptr to detach.
      */
     void setTracer(TraceRecorder *tracer) { tracer_ = tracer; }
 
+    /**
+     * One booked service interval, kept only while a telemetry
+     * registry is attached; feeds post-run epoch sampling.
+     */
+    struct ServiceInterval {
+        double start;
+        double duration;
+        double bytes;
+    };
+
+    /**
+     * Attach a telemetry registry: registers (or re-binds to)
+     * "<name>.wait_time", "<name>.service_time", "<name>.queue_depth"
+     * distributions, a "<name>.queue_depth_hist" histogram, and
+     * "<name>.requests" / "<name>.bytes" counters, all updated per
+     * acquire. Also turns on the service-interval log. Telemetry is
+     * purely observational: booking arithmetic is untouched, so
+     * simulation results are bit-identical with it attached or not.
+     * Pass nullptr to detach.
+     */
+    void attachTelemetry(telemetry::StatsRegistry *registry);
+
+    /** @return Booked intervals (empty unless telemetry attached). */
+    const std::vector<ServiceInterval> &serviceLog() const
+    {
+        return serviceLog_;
+    }
+
   private:
+    void observe(double arrival, double start, double service,
+                 double bytes);
+
     std::string name_;
     double bandwidth_;
     double latency_;
@@ -101,6 +144,19 @@ class BandwidthResource
     double bytesServed_ = 0.0;
     double busyTime_ = 0.0;
     uint64_t requests_ = 0;
+
+    // Telemetry bindings (all null when detached).
+    telemetry::StatsRegistry *registry_ = nullptr;
+    telemetry::Distribution *waitTime_ = nullptr;
+    telemetry::Distribution *serviceTime_ = nullptr;
+    telemetry::Distribution *queueDepth_ = nullptr;
+    telemetry::Histogram *queueDepthHist_ = nullptr;
+    telemetry::Counter *requestCount_ = nullptr;
+    telemetry::Counter *byteCount_ = nullptr;
+    std::vector<ServiceInterval> serviceLog_;
+    // Completion times of booked requests still in service at the
+    // latest arrival; its size is the queue depth sample.
+    std::deque<double> inService_;
 };
 
 } // namespace sim

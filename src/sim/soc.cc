@@ -1,7 +1,9 @@
 #include "sim/soc.h"
 
 #include <algorithm>
+#include <cmath>
 
+#include "telemetry/stats.h"
 #include "util/logging.h"
 
 namespace gables {
@@ -38,6 +40,8 @@ SimSoc::setDram(double bandwidth, double latency)
     dram_ = std::make_unique<BandwidthResource>("DRAM", bandwidth,
                                                 latency);
     dram_->setTracer(tracer_);
+    if (registry_ != nullptr)
+        dram_->attachTelemetry(registry_);
 }
 
 BandwidthResource *
@@ -48,6 +52,8 @@ SimSoc::addFabric(const std::string &fabric_name, double bandwidth,
         fabric_name, bandwidth, latency));
     BandwidthResource *fabric = fabrics_.back().get();
     fabric->setTracer(tracer_);
+    if (registry_ != nullptr)
+        fabric->attachTelemetry(registry_);
     if (parent != nullptr) {
         bool known = false;
         for (const auto &f : fabrics_)
@@ -109,6 +115,12 @@ SimSoc::addEngine(const IpEngineConfig &config,
     engines_.back()->computeResourcePtr()->setTracer(tracer_);
     if (local != nullptr)
         local->resource().setTracer(tracer_);
+    if (registry_ != nullptr) {
+        link->attachTelemetry(registry_);
+        engines_.back()->attachTelemetry(registry_);
+        if (local != nullptr)
+            local->attachTelemetry(registry_);
+    }
     engineNames_.push_back(config.name);
     coordinators_.push_back(coordinator);
     return engines_.back().get();
@@ -142,9 +154,27 @@ SimSoc::attachTracer(TraceRecorder *tracer)
 }
 
 void
+SimSoc::attachTelemetry(telemetry::StatsRegistry *registry)
+{
+    registry_ = registry;
+    if (dram_)
+        dram_->attachTelemetry(registry);
+    for (auto &f : fabrics_)
+        f->attachTelemetry(registry);
+    for (auto &l : links_)
+        l->attachTelemetry(registry);
+    for (auto &m : locals_)
+        m->attachTelemetry(registry);
+    for (auto &e : engines_)
+        e->attachTelemetry(registry);
+}
+
+void
 SimSoc::resetAll()
 {
     eq_.reset();
+    if (registry_ != nullptr)
+        registry_->resetValues();
     if (dram_)
         dram_->reset();
     for (auto &f : fabrics_)
@@ -160,9 +190,23 @@ SimSoc::resetAll()
 SocRunStats
 SimSoc::run(const std::vector<JobSubmission> &jobs)
 {
+    return run(jobs, 0);
+}
+
+SocRunStats
+SimSoc::run(const std::vector<JobSubmission> &jobs, int epochs)
+{
     if (jobs.empty())
         fatal("SimSoc::run needs at least one job");
+    if (epochs < 0)
+        fatal("SimSoc::run: epochs must be >= 0");
+    if (epochs > 0 && registry_ == nullptr)
+        fatal("SimSoc::run: epoch sampling needs an attached "
+              "telemetry registry (attachTelemetry)");
     resetAll();
+    debug("SimSoc::run: " + name_ + ", " +
+          std::to_string(jobs.size()) + " job(s), " +
+          std::to_string(epochs) + " epoch(s)");
 
     SocRunStats stats;
     stats.engines.resize(jobs.size());
@@ -194,7 +238,105 @@ SimSoc::run(const std::vector<JobSubmission> &jobs)
         snapshot(*l);
     for (const auto &e : engines_)
         snapshot(e->computeResource());
+
+    if (epochs > 0)
+        sampleEpochSeries(stats, epochs);
     return stats;
+}
+
+namespace {
+
+/**
+ * Spread each booked interval's busy time (and bytes, proportional
+ * to time overlap) over fixed-width epoch bins.
+ */
+void
+binIntervals(const std::vector<BandwidthResource::ServiceInterval> &log,
+             double dt, std::vector<double> &busy,
+             std::vector<double> &bytes)
+{
+    int epochs = static_cast<int>(busy.size());
+    for (const BandwidthResource::ServiceInterval &iv : log) {
+        double end = iv.start + iv.duration;
+        int k = static_cast<int>(std::floor(iv.start / dt));
+        k = std::max(0, std::min(k, epochs - 1));
+        if (iv.duration <= 0.0) {
+            bytes[k] += iv.bytes;
+            continue;
+        }
+        for (; k < epochs; ++k) {
+            double b0 = k * dt;
+            double b1 = b0 + dt;
+            double overlap =
+                std::min(end, b1) - std::max(iv.start, b0);
+            if (overlap > 0.0) {
+                busy[k] += overlap;
+                bytes[k] += iv.bytes * overlap / iv.duration;
+            }
+            if (end <= b1)
+                break;
+        }
+    }
+}
+
+} // namespace
+
+void
+SimSoc::sampleEpochSeries(const SocRunStats &stats, int epochs)
+{
+    if (!(stats.duration > 0.0))
+        return;
+    double dt = stats.duration / epochs;
+
+    // Utilization series for every resource; the DRAM controller
+    // additionally yields a bandwidth series, and each engine's
+    // compute resource an ops-rate series (its "bytes" are ops).
+    auto sample = [&](const BandwidthResource &r) {
+        std::vector<double> busy(epochs, 0.0), bytes(epochs, 0.0);
+        binIntervals(r.serviceLog(), dt, busy, bytes);
+        telemetry::TimeSeries &util = registry_->timeSeries(
+            r.name() + ".utilization", "per-epoch utilization");
+        for (int k = 0; k < epochs; ++k) {
+            double t0 = k * dt;
+            double u = std::min(1.0, busy[k] / dt);
+            util.sample(t0 + 0.5 * dt, u);
+            if (tracer_ != nullptr)
+                tracer_->counter(r.name() + ".util", t0, u);
+        }
+        return bytes;
+    };
+
+    if (dram_) {
+        std::vector<double> bytes = sample(*dram_);
+        telemetry::TimeSeries &bw = registry_->timeSeries(
+            "DRAM.bw_bytes", "per-epoch DRAM bandwidth (bytes/s)");
+        for (int k = 0; k < epochs; ++k) {
+            bw.sample((k + 0.5) * dt, bytes[k] / dt);
+            if (tracer_ != nullptr)
+                tracer_->counter("DRAM.bw_gbps", k * dt,
+                                 bytes[k] / dt / 1e9);
+        }
+    }
+    for (const auto &f : fabrics_)
+        sample(*f);
+    for (const auto &l : links_)
+        sample(*l);
+    for (const auto &m : locals_)
+        sample(m->resource());
+    for (size_t i = 0; i < engines_.size(); ++i) {
+        const BandwidthResource &compute =
+            engines_[i]->computeResource();
+        std::vector<double> ops = sample(compute);
+        telemetry::TimeSeries &rate = registry_->timeSeries(
+            engineNames_[i] + ".ops_rate",
+            "per-epoch achieved compute rate (ops/s)");
+        for (int k = 0; k < epochs; ++k) {
+            rate.sample((k + 0.5) * dt, ops[k] / dt);
+            if (tracer_ != nullptr)
+                tracer_->counter(engineNames_[i] + ".gops", k * dt,
+                                 ops[k] / dt / 1e9);
+        }
+    }
 }
 
 } // namespace sim

@@ -21,6 +21,11 @@
 #include "sim/trace.h"
 
 namespace gables {
+
+namespace telemetry {
+class StatsRegistry;
+} // namespace telemetry
+
 namespace sim {
 
 /** Per-resource utilization snapshot after a run. */
@@ -134,6 +139,19 @@ class SimSoc
      */
     SocRunStats run(const std::vector<JobSubmission> &jobs);
 
+    /**
+     * Like run(jobs), but with @p epochs > 0 the run is divided into
+     * that many equal time slices and each resource's utilization is
+     * sampled per slice into the attached telemetry registry as a
+     * "<resource>.utilization" time series (plus "DRAM.bw_bytes" for
+     * the DRAM byte rate and "<engine>.ops_rate" for each engine).
+     * When a tracer is also attached, the same series are emitted as
+     * Perfetto counter tracks ("<resource>.util", "DRAM.bw_gbps",
+     * "<engine>.gops"). Requires attachTelemetry() when epochs > 0.
+     */
+    SocRunStats run(const std::vector<JobSubmission> &jobs,
+                    int epochs);
+
     /** @return The event queue (for tests and custom scenarios). */
     EventQueue &eventQueue() { return eq_; }
 
@@ -144,12 +162,28 @@ class SimSoc
      */
     void attachTracer(TraceRecorder *tracer);
 
+    /**
+     * Attach a telemetry registry to every component of the SoC;
+     * also applied to engines added later. Each run() resets the
+     * registry's values, so its contents always describe the latest
+     * run. Pass nullptr to detach; detached runs are bit-identical.
+     */
+    void attachTelemetry(telemetry::StatsRegistry *registry);
+
+    /** @return The attached registry, or nullptr. */
+    telemetry::StatsRegistry *telemetryRegistry()
+    {
+        return registry_;
+    }
+
   private:
     void resetAll();
+    void sampleEpochSeries(const SocRunStats &stats, int epochs);
 
     std::string name_;
     EventQueue eq_;
     TraceRecorder *tracer_ = nullptr;
+    telemetry::StatsRegistry *registry_ = nullptr;
     std::unique_ptr<BandwidthResource> dram_;
     std::vector<std::unique_ptr<BandwidthResource>> fabrics_;
     // Parent of each fabric (nullptr = DRAM).

@@ -18,11 +18,29 @@ TraceRecorder::record(const std::string &track, double start,
                    duration});
 }
 
+void
+TraceRecorder::counter(const std::string &track, double time,
+                       double value)
+{
+    counters_.push_back(CounterEvent{track, time, value});
+}
+
 std::vector<TraceEvent>
 TraceRecorder::track(const std::string &name) const
 {
     std::vector<TraceEvent> out;
     for (const TraceEvent &e : events_) {
+        if (e.track == name)
+            out.push_back(e);
+    }
+    return out;
+}
+
+std::vector<CounterEvent>
+TraceRecorder::counterTrack(const std::string &name) const
+{
+    std::vector<CounterEvent> out;
+    for (const CounterEvent &e : counters_) {
         if (e.track == name)
             out.push_back(e);
     }
@@ -64,6 +82,20 @@ TraceRecorder::writeChromeTrace(std::ostream &out) const
         json.kv("tid", tids[e.track]);
         json.kv("ts", e.start * 1e6);       // microseconds
         json.kv("dur", e.duration * 1e6);
+        json.endObject();
+    }
+    // Counter tracks: Perfetto keys them by (pid, name) and plots
+    // the "value" arg as a stepped area chart.
+    for (const CounterEvent &c : counters_) {
+        json.beginObject();
+        json.kv("name", c.track);
+        json.kv("ph", "C");
+        json.kv("pid", 1);
+        json.kv("ts", c.time * 1e6);
+        json.key("args");
+        json.beginObject();
+        json.kv("value", c.value);
+        json.endObject();
         json.endObject();
     }
     json.endArray();

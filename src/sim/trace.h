@@ -30,8 +30,18 @@ struct TraceEvent {
     double duration = 0.0;
 };
 
+/** One sample on a counter track (queue depth, bandwidth, ...). */
+struct CounterEvent {
+    /** Counter track name. */
+    std::string track;
+    /** Sample time (simulated seconds). */
+    double time = 0.0;
+    /** Counter value at that time. */
+    double value = 0.0;
+};
+
 /**
- * Collects service intervals and exports them.
+ * Collects service intervals and counter samples and exports them.
  */
 class TraceRecorder
 {
@@ -40,24 +50,46 @@ class TraceRecorder
     void record(const std::string &track, double start,
                 double duration, const std::string &label = "");
 
+    /**
+     * Record one counter sample; Perfetto renders each counter track
+     * as a stepped area chart alongside the slices.
+     */
+    void counter(const std::string &track, double time, double value);
+
     /** @return All events in recording order. */
     const std::vector<TraceEvent> &events() const { return events_; }
+
+    /** @return All counter samples in recording order. */
+    const std::vector<CounterEvent> &counterEvents() const
+    {
+        return counters_;
+    }
 
     /** @return Events on one track, in recording order. */
     std::vector<TraceEvent> track(const std::string &name) const;
 
-    /** Discard all recorded events. */
-    void clear() { events_.clear(); }
+    /** @return Counter samples on one track, in recording order. */
+    std::vector<CounterEvent>
+    counterTrack(const std::string &name) const;
+
+    /** Discard all recorded events and counter samples. */
+    void clear()
+    {
+        events_.clear();
+        counters_.clear();
+    }
 
     /**
      * Write the Chrome Trace Event Format JSON: one complete-event
-     * ("ph":"X") per interval, timestamps in microseconds, one tid
-     * per track. Loadable by chrome://tracing and Perfetto.
+     * ("ph":"X") per interval with one tid per track, plus one
+     * counter-event ("ph":"C") per counter sample. Loadable by
+     * chrome://tracing and Perfetto.
      */
     void writeChromeTrace(std::ostream &out) const;
 
   private:
     std::vector<TraceEvent> events_;
+    std::vector<CounterEvent> counters_;
 };
 
 } // namespace sim

@@ -1,0 +1,290 @@
+#include "telemetry/stats.h"
+
+#include <cmath>
+
+#include "util/json_writer.h"
+#include "util/logging.h"
+
+namespace gables {
+namespace telemetry {
+
+void
+Distribution::sample(double v)
+{
+    ++count_;
+    sum_ += v;
+    if (v < min_)
+        min_ = v;
+    if (v > max_)
+        max_ = v;
+    double delta = v - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (v - mean_);
+}
+
+double
+Distribution::mean() const
+{
+    return count_ ? mean_ : 0.0;
+}
+
+double
+Distribution::stddev() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return std::sqrt(m2_ / static_cast<double>(count_));
+}
+
+void
+Distribution::reset()
+{
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+    mean_ = 0.0;
+    m2_ = 0.0;
+}
+
+Histogram::Histogram(double lo, double hi, size_t nbuckets)
+    : lo_(lo), hi_(hi), buckets_(nbuckets, 0)
+{
+    if (!(hi > lo))
+        fatal("histogram needs hi > lo");
+    if (nbuckets < 1)
+        fatal("histogram needs at least one bucket");
+}
+
+void
+Histogram::sample(double v)
+{
+    ++count_;
+    if (v < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (v >= hi_) {
+        ++overflow_;
+        return;
+    }
+    double width = (hi_ - lo_) / static_cast<double>(buckets_.size());
+    size_t i = static_cast<size_t>((v - lo_) / width);
+    if (i >= buckets_.size()) // guard the v ~ hi rounding edge
+        i = buckets_.size() - 1;
+    ++buckets_[i];
+}
+
+double
+Histogram::bucketLo(size_t i) const
+{
+    double width = (hi_ - lo_) / static_cast<double>(buckets_.size());
+    return lo_ + width * static_cast<double>(i);
+}
+
+void
+Histogram::reset()
+{
+    for (uint64_t &b : buckets_)
+        b = 0;
+    underflow_ = overflow_ = count_ = 0;
+}
+
+void
+TimeSeries::sample(double t, double v)
+{
+    times_.push_back(t);
+    values_.push_back(v);
+}
+
+void
+TimeSeries::reset()
+{
+    times_.clear();
+    values_.clear();
+}
+
+StatsRegistry::Entry *
+StatsRegistry::find(const std::string &name)
+{
+    for (auto &e : entries_) {
+        if (e->name == name)
+            return e.get();
+    }
+    return nullptr;
+}
+
+const StatsRegistry::Entry *
+StatsRegistry::find(const std::string &name) const
+{
+    for (const auto &e : entries_) {
+        if (e->name == name)
+            return e.get();
+    }
+    return nullptr;
+}
+
+StatsRegistry::Entry &
+StatsRegistry::require(const std::string &name, const std::string &desc,
+                       Kind kind)
+{
+    if (Entry *e = find(name)) {
+        if (e->kind != kind)
+            fatal("stat '" + name +
+                  "' is already registered as a different kind");
+        return *e;
+    }
+    entries_.push_back(std::make_unique<Entry>());
+    Entry &e = *entries_.back();
+    e.name = name;
+    e.desc = desc;
+    e.kind = kind;
+    return e;
+}
+
+Counter &
+StatsRegistry::counter(const std::string &name, const std::string &desc)
+{
+    Entry &e = require(name, desc, Kind::Counter);
+    if (!e.counter)
+        e.counter = std::make_unique<Counter>();
+    return *e.counter;
+}
+
+Distribution &
+StatsRegistry::distribution(const std::string &name,
+                            const std::string &desc)
+{
+    Entry &e = require(name, desc, Kind::Distribution);
+    if (!e.distribution)
+        e.distribution = std::make_unique<Distribution>();
+    return *e.distribution;
+}
+
+Histogram &
+StatsRegistry::histogram(const std::string &name, double lo, double hi,
+                         size_t nbuckets, const std::string &desc)
+{
+    Entry &e = require(name, desc, Kind::Histogram);
+    if (!e.histogram)
+        e.histogram = std::make_unique<Histogram>(lo, hi, nbuckets);
+    return *e.histogram;
+}
+
+TimeSeries &
+StatsRegistry::timeSeries(const std::string &name,
+                          const std::string &desc)
+{
+    Entry &e = require(name, desc, Kind::TimeSeries);
+    if (!e.timeSeries)
+        e.timeSeries = std::make_unique<TimeSeries>();
+    return *e.timeSeries;
+}
+
+const Counter *
+StatsRegistry::findCounter(const std::string &name) const
+{
+    const Entry *e = find(name);
+    return e ? e->counter.get() : nullptr;
+}
+
+const Distribution *
+StatsRegistry::findDistribution(const std::string &name) const
+{
+    const Entry *e = find(name);
+    return e ? e->distribution.get() : nullptr;
+}
+
+const Histogram *
+StatsRegistry::findHistogram(const std::string &name) const
+{
+    const Entry *e = find(name);
+    return e ? e->histogram.get() : nullptr;
+}
+
+const TimeSeries *
+StatsRegistry::findTimeSeries(const std::string &name) const
+{
+    const Entry *e = find(name);
+    return e ? e->timeSeries.get() : nullptr;
+}
+
+bool
+StatsRegistry::has(const std::string &name) const
+{
+    return find(name) != nullptr;
+}
+
+void
+StatsRegistry::resetValues()
+{
+    for (auto &e : entries_) {
+        if (e->counter)
+            e->counter->reset();
+        if (e->distribution)
+            e->distribution->reset();
+        if (e->histogram)
+            e->histogram->reset();
+        if (e->timeSeries)
+            e->timeSeries->reset();
+    }
+}
+
+void
+StatsRegistry::writeJson(JsonWriter &json) const
+{
+    json.beginObject();
+    for (const auto &e : entries_) {
+        json.key(e->name);
+        json.beginObject();
+        if (!e->desc.empty())
+            json.kv("desc", e->desc);
+        switch (e->kind) {
+          case Kind::Counter:
+            json.kv("kind", "counter");
+            json.kv("value", e->counter->value());
+            break;
+          case Kind::Distribution: {
+            const Distribution &d = *e->distribution;
+            json.kv("kind", "distribution");
+            json.kv("count", static_cast<size_t>(d.count()));
+            json.kv("sum", d.sum());
+            json.kv("min", d.min());
+            json.kv("max", d.max());
+            json.kv("mean", d.mean());
+            json.kv("stddev", d.stddev());
+            break;
+          }
+          case Kind::Histogram: {
+            const Histogram &h = *e->histogram;
+            json.kv("kind", "histogram");
+            json.kv("count", static_cast<size_t>(h.count()));
+            json.kv("underflow", static_cast<size_t>(h.underflow()));
+            json.kv("overflow", static_cast<size_t>(h.overflow()));
+            json.key("bucket_lo");
+            json.beginArray();
+            for (size_t i = 0; i < h.numBuckets(); ++i)
+                json.value(h.bucketLo(i));
+            json.endArray();
+            json.key("buckets");
+            json.beginArray();
+            for (size_t i = 0; i < h.numBuckets(); ++i)
+                json.value(static_cast<size_t>(h.bucket(i)));
+            json.endArray();
+            break;
+          }
+          case Kind::TimeSeries: {
+            const TimeSeries &s = *e->timeSeries;
+            json.kv("kind", "timeseries");
+            json.numberArray("t", s.times());
+            json.numberArray("v", s.values());
+            break;
+          }
+        }
+        json.endObject();
+    }
+    json.endObject();
+}
+
+} // namespace telemetry
+} // namespace gables

@@ -1,5 +1,6 @@
 #include "util/logging.h"
 
+#include <cctype>
 #include <cstdlib>
 #include <iostream>
 
@@ -36,6 +37,37 @@ LogLevel
 logLevel()
 {
     return g_level;
+}
+
+LogLevel
+parseLogLevel(const std::string &name)
+{
+    std::string n;
+    for (char c : name)
+        n.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+    if (n == "debug")
+        return LogLevel::Debug;
+    if (n == "info")
+        return LogLevel::Info;
+    if (n == "warn" || n == "warning")
+        return LogLevel::Warn;
+    if (n == "error")
+        return LogLevel::Error;
+    fatal("unknown log level '" + name +
+          "' (try debug, info, warn, error)");
+}
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Error: return "error";
+    }
+    return "info";
 }
 
 void

@@ -49,6 +49,17 @@ void setLogLevel(LogLevel level);
 LogLevel logLevel();
 
 /**
+ * Parse a log-level name: "debug", "info", "warn"/"warning", or
+ * "error" (case-insensitive).
+ *
+ * @throws FatalError on an unknown name.
+ */
+LogLevel parseLogLevel(const std::string &name);
+
+/** @return The canonical name of @p level ("debug", "info", ...). */
+const char *logLevelName(LogLevel level);
+
+/**
  * Redirect log output to a string buffer for testing; pass nullptr to
  * restore stderr.
  *
