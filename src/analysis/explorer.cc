@@ -69,59 +69,75 @@ DesignExplorer::sweepIpBandwidth(size_t ip, std::vector<double> values)
                       std::move(values)});
 }
 
-std::vector<Candidate>
-DesignExplorer::explore() const
+size_t
+DesignExplorer::gridSize() const
 {
-    std::vector<Candidate> candidates;
+    size_t total = 1;
+    for (const Knob &knob : knobs_)
+        total *= knob.values.size();
+    return total;
+}
 
-    // Enumerate the cross product with an odometer over knob values.
-    std::vector<size_t> idx(knobs_.size(), 0);
-    bool done = false;
-    while (!done) {
-        SocSpec design = base_;
-        for (size_t k = 0; k < knobs_.size(); ++k)
-            design = knobs_[k].apply(design, knobs_[k].values[idx[k]]);
+std::vector<Candidate>
+DesignExplorer::explore(int jobs, parallel::ForStats *stats) const
+{
+    // The cross product is enumerated odometer-style with knob 0
+    // fastest-varying; flat index i decomposes into per-knob digits
+    // so candidates land in pre-sized slots in enumeration order
+    // regardless of how many workers evaluate them.
+    std::vector<Candidate> candidates(
+        gridSize(), Candidate{base_, 0.0, {}, 0.0, false});
 
-        Candidate c{design, 0.0, {}, cost_.cost(design), false};
-        double min_perf = std::numeric_limits<double>::infinity();
-        for (const Usecase &u : usecases_) {
-            double p = GablesModel::evaluate(design, u).attainable;
-            c.perUsecase.push_back(p);
-            min_perf = std::min(min_perf, p);
-        }
-        c.minPerf = min_perf;
-        candidates.push_back(std::move(c));
-
-        // Advance the odometer.
-        done = true;
-        for (size_t k = 0; k < knobs_.size(); ++k) {
-            if (++idx[k] < knobs_[k].values.size()) {
-                done = false;
-                break;
+    parallel::ForOptions opts;
+    opts.jobs = jobs;
+    parallel::ForStats st = parallel::parallelFor(
+        candidates.size(),
+        [&](size_t i) {
+            SocSpec design = base_;
+            size_t rest = i;
+            for (const Knob &knob : knobs_) {
+                design =
+                    knob.apply(design,
+                               knob.values[rest % knob.values.size()]);
+                rest /= knob.values.size();
             }
-            idx[k] = 0;
-        }
-        if (knobs_.empty())
-            done = true;
-    }
+
+            Candidate c{design, 0.0, {}, cost_.cost(design), false};
+            double min_perf = std::numeric_limits<double>::infinity();
+            for (const Usecase &u : usecases_) {
+                double p = GablesModel::evaluate(design, u).attainable;
+                c.perUsecase.push_back(p);
+                min_perf = std::min(min_perf, p);
+            }
+            c.minPerf = min_perf;
+            candidates[i] = std::move(c);
+        },
+        opts);
+    if (stats)
+        *stats = st;
 
     // Pareto marking: candidate c is dominated if another candidate
-    // has >= perf and <= cost with at least one strict.
-    for (size_t i = 0; i < candidates.size(); ++i) {
-        bool dominated = false;
-        for (size_t j = 0; j < candidates.size() && !dominated; ++j) {
-            if (i == j)
-                continue;
-            const Candidate &a = candidates[j];
-            const Candidate &b = candidates[i];
-            bool better_or_equal =
-                a.minPerf >= b.minPerf && a.cost <= b.cost;
-            bool strictly_better =
-                a.minPerf > b.minPerf || a.cost < b.cost;
-            dominated = better_or_equal && strictly_better;
-        }
-        candidates[i].pareto = !dominated;
-    }
+    // has >= perf and <= cost with at least one strict. Each index
+    // only writes its own flag, so the scan parallelizes cleanly.
+    parallel::parallelFor(
+        candidates.size(),
+        [&](size_t i) {
+            bool dominated = false;
+            for (size_t j = 0;
+                 j < candidates.size() && !dominated; ++j) {
+                if (i == j)
+                    continue;
+                const Candidate &a = candidates[j];
+                const Candidate &b = candidates[i];
+                bool better_or_equal =
+                    a.minPerf >= b.minPerf && a.cost <= b.cost;
+                bool strictly_better =
+                    a.minPerf > b.minPerf || a.cost < b.cost;
+                dominated = better_or_equal && strictly_better;
+            }
+            candidates[i].pareto = !dominated;
+        },
+        opts);
 
     std::sort(candidates.begin(), candidates.end(),
               [](const Candidate &a, const Candidate &b) {

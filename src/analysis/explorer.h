@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/gables.h"
+#include "parallel/parallel_for.h"
 
 namespace gables {
 
@@ -77,10 +78,21 @@ class DesignExplorer
      * Evaluate the full cross product of all registered sweeps and
      * mark the Pareto-optimal (max perf, min cost) candidates.
      *
+     * Candidate evaluation and Pareto marking run on the parallel
+     * worker-pool layer; results are byte-identical for any @p jobs
+     * (candidates land in enumeration-order slots before sorting).
+     *
+     * @param jobs  Worker count (1 = legacy serial, 0 = hardware).
+     * @param stats Optional out: worker count and busy time of the
+     *              candidate-evaluation loop.
      * @return All candidates, Pareto members flagged, sorted by
      *         descending minPerf.
      */
-    std::vector<Candidate> explore() const;
+    std::vector<Candidate>
+    explore(int jobs = 1, parallel::ForStats *stats = nullptr) const;
+
+    /** @return Number of candidate designs explore() will evaluate. */
+    size_t gridSize() const;
 
     /** @return Only the Pareto frontier, sorted by ascending cost. */
     static std::vector<Candidate>

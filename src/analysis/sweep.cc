@@ -6,8 +6,28 @@
 namespace gables {
 
 Series
+Sweep::fill(std::string label, const std::vector<double> &xs,
+            const std::function<double(double)> &evaluate, int jobs,
+            parallel::ForStats *stats)
+{
+    Series series;
+    series.label = std::move(label);
+    series.x = xs;
+    series.y.resize(xs.size());
+    parallel::ForOptions opts;
+    opts.jobs = jobs;
+    parallel::ForStats st = parallel::parallelFor(
+        xs.size(),
+        [&](size_t i) { series.y[i] = evaluate(series.x[i]); }, opts);
+    if (stats)
+        *stats = st;
+    return series;
+}
+
+Series
 Sweep::mixing(const SocSpec &soc, double i0, double i1,
-              const std::vector<double> &fractions, bool normalize)
+              const std::vector<double> &fractions, bool normalize,
+              int jobs, parallel::ForStats *stats)
 {
     if (soc.numIps() < 2)
         fatal("mixing sweep needs a SoC with at least two IPs");
@@ -25,92 +45,84 @@ Sweep::mixing(const SocSpec &soc, double i0, double i1,
     if (normalize)
         base = GablesModel::evaluate(soc, usecase_for(0.0)).attainable;
 
-    Series series;
-    series.label = "I0=" + formatDouble(i0) + " I1=" + formatDouble(i1);
-    for (double f : fractions) {
-        if (!(f >= 0.0 && f <= 1.0))
-            fatal("mixing fraction must be in [0, 1]");
-        double perf =
-            GablesModel::evaluate(soc, usecase_for(f)).attainable;
-        series.x.push_back(f);
-        series.y.push_back(perf / base);
-    }
-    return series;
+    return fill(
+        "I0=" + formatDouble(i0) + " I1=" + formatDouble(i1), fractions,
+        [&](double f) {
+            if (!(f >= 0.0 && f <= 1.0))
+                fatal("mixing fraction must be in [0, 1]");
+            return GablesModel::evaluate(soc, usecase_for(f)).attainable /
+                   base;
+        },
+        jobs, stats);
 }
 
 Series
 Sweep::bpeak(const SocSpec &soc, const Usecase &usecase,
-             const std::vector<double> &values)
+             const std::vector<double> &values, int jobs,
+             parallel::ForStats *stats)
 {
-    Series series;
-    series.label = "Bpeak sweep";
-    for (double b : values) {
-        series.x.push_back(b);
-        series.y.push_back(
-            GablesModel::evaluate(soc.withBpeak(b), usecase).attainable);
-    }
-    return series;
+    return fill(
+        "Bpeak sweep", values,
+        [&](double b) {
+            return GablesModel::evaluate(soc.withBpeak(b), usecase)
+                .attainable;
+        },
+        jobs, stats);
 }
 
 Series
 Sweep::intensity(const SocSpec &soc, const Usecase &usecase, size_t ip,
-                 const std::vector<double> &values)
+                 const std::vector<double> &values, int jobs,
+                 parallel::ForStats *stats)
 {
-    Series series;
-    series.label = "I[" + std::to_string(ip) + "] sweep";
-    for (double i : values) {
-        Usecase modified = usecase.withWork(
-            ip, IpWork{usecase.fraction(ip), i});
-        series.x.push_back(i);
-        series.y.push_back(
-            GablesModel::evaluate(soc, modified).attainable);
-    }
-    return series;
+    return fill(
+        "I[" + std::to_string(ip) + "] sweep", values,
+        [&](double i) {
+            Usecase modified =
+                usecase.withWork(ip, IpWork{usecase.fraction(ip), i});
+            return GablesModel::evaluate(soc, modified).attainable;
+        },
+        jobs, stats);
 }
 
 Series
 Sweep::acceleration(const SocSpec &soc, const Usecase &usecase, size_t ip,
-                    const std::vector<double> &values)
+                    const std::vector<double> &values, int jobs,
+                    parallel::ForStats *stats)
 {
     if (ip == 0)
         fatal("cannot sweep A0: the paper fixes A0 = 1");
-    Series series;
-    series.label = "A[" + std::to_string(ip) + "] sweep";
-    for (double a : values) {
-        series.x.push_back(a);
-        series.y.push_back(
-            GablesModel::evaluate(soc.withIpAcceleration(ip, a), usecase)
-                .attainable);
-    }
-    return series;
+    return fill(
+        "A[" + std::to_string(ip) + "] sweep", values,
+        [&](double a) {
+            return GablesModel::evaluate(soc.withIpAcceleration(ip, a),
+                                         usecase)
+                .attainable;
+        },
+        jobs, stats);
 }
 
 Series
 Sweep::ipBandwidth(const SocSpec &soc, const Usecase &usecase, size_t ip,
-                   const std::vector<double> &values)
+                   const std::vector<double> &values, int jobs,
+                   parallel::ForStats *stats)
 {
-    Series series;
-    series.label = "B[" + std::to_string(ip) + "] sweep";
-    for (double b : values) {
-        series.x.push_back(b);
-        series.y.push_back(
-            GablesModel::evaluate(soc.withIpBandwidth(ip, b), usecase)
-                .attainable);
-    }
-    return series;
+    return fill(
+        "B[" + std::to_string(ip) + "] sweep", values,
+        [&](double b) {
+            return GablesModel::evaluate(soc.withIpBandwidth(ip, b),
+                                         usecase)
+                .attainable;
+        },
+        jobs, stats);
 }
 
 Series
 Sweep::custom(const std::string &label, const std::vector<double> &xs,
-              const std::function<double(double)> &evaluate)
+              const std::function<double(double)> &evaluate, int jobs,
+              parallel::ForStats *stats)
 {
-    Series series;
-    series.label = label;
-    for (double x : xs) {
-        series.x.push_back(x);
-        series.y.push_back(evaluate(x));
-    }
-    return series;
+    return fill(label, xs, evaluate, jobs, stats);
 }
 
 } // namespace gables

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/gables.h"
+#include "parallel/parallel_for.h"
 
 namespace gables {
 
@@ -28,6 +29,14 @@ struct Series {
 
 /**
  * Sweep drivers producing Series from the model.
+ *
+ * Every driver evaluates its grid with the parallel worker-pool
+ * layer: @p jobs = 1 (the default) is the legacy serial path, 0
+ * means hardware concurrency. Output is byte-identical for any job
+ * count — points are written into pre-sized slots and exceptions
+ * surface from the lowest failing index, exactly as a serial loop.
+ * When @p stats is non-null it receives the worker count and
+ * per-worker busy time for telemetry RunReports.
  */
 class Sweep
 {
@@ -44,10 +53,13 @@ class Sweep
      * @param fractions  Values of f in [0, 1].
      * @param normalize  If true (paper's Figure 8), divide by the
      *                   performance at f = 0 with intensity i0.
+     * @param jobs       Worker count (1 = serial, 0 = hardware).
+     * @param stats      Optional out: worker count and busy time.
      */
     static Series mixing(const SocSpec &soc, double i0, double i1,
                          const std::vector<double> &fractions,
-                         bool normalize = true);
+                         bool normalize = true, int jobs = 1,
+                         parallel::ForStats *stats = nullptr);
 
     /**
      * Sweep off-chip bandwidth Bpeak over @p values for a fixed
@@ -55,7 +67,9 @@ class Sweep
      * question: "is more DRAM bandwidth the fix?").
      */
     static Series bpeak(const SocSpec &soc, const Usecase &usecase,
-                        const std::vector<double> &values);
+                        const std::vector<double> &values,
+                        int jobs = 1,
+                        parallel::ForStats *stats = nullptr);
 
     /**
      * Sweep IP @p ip's operational intensity over @p values, holding
@@ -63,7 +77,9 @@ class Sweep
      * data reuse buy?").
      */
     static Series intensity(const SocSpec &soc, const Usecase &usecase,
-                            size_t ip, const std::vector<double> &values);
+                            size_t ip, const std::vector<double> &values,
+                            int jobs = 1,
+                            parallel::ForStats *stats = nullptr);
 
     /**
      * Sweep IP @p ip's acceleration Ai over @p values (the
@@ -71,22 +87,33 @@ class Sweep
      */
     static Series acceleration(const SocSpec &soc, const Usecase &usecase,
                                size_t ip,
-                               const std::vector<double> &values);
+                               const std::vector<double> &values,
+                               int jobs = 1,
+                               parallel::ForStats *stats = nullptr);
 
     /**
      * Sweep IP @p ip's link bandwidth Bi over @p values.
      */
     static Series ipBandwidth(const SocSpec &soc, const Usecase &usecase,
                               size_t ip,
-                              const std::vector<double> &values);
+                              const std::vector<double> &values,
+                              int jobs = 1,
+                              parallel::ForStats *stats = nullptr);
 
     /**
-     * Generic sweep: apply @p make to each x to get a (SoC, usecase)
-     * pair and record attainable performance.
+     * Generic sweep: apply @p evaluate to each x and record the
+     * result.
      */
     static Series
     custom(const std::string &label, const std::vector<double> &xs,
-           const std::function<double(double)> &evaluate);
+           const std::function<double(double)> &evaluate, int jobs = 1,
+           parallel::ForStats *stats = nullptr);
+
+  private:
+    /** Shared grid driver: y[i] = evaluate(xs[i]) in parallel. */
+    static Series fill(std::string label, const std::vector<double> &xs,
+                       const std::function<double(double)> &evaluate,
+                       int jobs, parallel::ForStats *stats);
 };
 
 } // namespace gables

@@ -23,6 +23,7 @@
 #include "core/serialize.h"
 #include "ert/ert.h"
 #include "ert/fitter.h"
+#include "parallel/parallel_for.h"
 #include "plot/roofline_plot.h"
 #include "plot/series_plot.h"
 #include "plot/viz_export.h"
@@ -58,6 +59,47 @@ resolveSoc(const std::string &name)
         return SocCatalog::paperTwoIpBalanced();
     fatal("unknown SoC '" + name +
           "' (try sd835, sd835-full, sd821, paper, paper-balanced)");
+}
+
+/** Declare the shared --jobs option on a grid command. */
+void
+addJobsOption(ArgParser &args)
+{
+    args.addOption("jobs",
+                   "worker threads for the grid (0 = all hardware "
+                   "threads, 1 = serial)",
+                   "0");
+}
+
+/** Resolve --jobs to a worker count (default: all hardware threads). */
+int
+resolveJobs(const ArgParser &args)
+{
+    long jobs = args.getInt("jobs", 0);
+    if (jobs < 0 || jobs > 4096)
+        fatal("--jobs must be in [0, 4096] (0 = hardware "
+              "concurrency)");
+    return jobs == 0 ? parallel::defaultJobs()
+                     : static_cast<int>(jobs);
+}
+
+/**
+ * Record the worker count and per-worker busy time of a grid
+ * evaluation in the telemetry registry (the "parallel.*" names the
+ * determinism contract excludes from byte-identity).
+ */
+void
+recordParallelStats(telemetry::StatsRegistry &reg,
+                    const parallel::ForStats &stats)
+{
+    reg.counter("parallel.workers",
+                "worker-pool size used for the grid evaluation")
+        .add(stats.workers);
+    telemetry::Distribution &busy = reg.distribution(
+        "parallel.worker_busy_s",
+        "wall-clock seconds each worker spent inside the grid body");
+    for (double b : stats.busySeconds)
+        busy.sample(b);
 }
 
 int
@@ -166,16 +208,20 @@ cmdSweep(int argc, const char *const *argv)
     args.addOption("metrics",
                    "write a run-report JSON with the sweep series "
                    "to this path");
+    addJobsOption(args);
     if (!args.parse(argc, argv, std::cerr))
         return 1;
 
     SocSpec soc = resolveSoc(args.getString("soc", "sd835"));
     long n = args.getInt("points", 9);
+    int jobs = resolveJobs(args);
     std::vector<double> fractions;
     for (long i = 0; i < n; ++i)
         fractions.push_back(static_cast<double>(i) / (n - 1));
+    parallel::ForStats pstats;
     Series series = Sweep::mixing(soc, args.getDouble("i0", 1.0),
-                                  args.getDouble("i1", 1.0), fractions);
+                                  args.getDouble("i1", 1.0), fractions,
+                                  true, jobs, &pstats);
 
     TextTable t({"f", "normalized perf"});
     for (size_t i = 0; i < series.x.size(); ++i)
@@ -197,11 +243,14 @@ cmdSweep(int argc, const char *const *argv)
         for (size_t i = 0; i < series.x.size(); ++i)
             ts.sample(series.x[i], series.y[i]);
 
+        recordParallelStats(reg, pstats);
+
         telemetry::RunReport report("gables sweep", soc.name());
         report.addConfig("soc", args.getString("soc", "sd835"));
         report.addConfig("i0", args.getDouble("i0", 1.0));
         report.addConfig("i1", args.getDouble("i1", 1.0));
         report.addConfig("points", n);
+        report.addConfig("jobs", static_cast<long>(jobs));
         report.setRegistry(&reg);
 
         std::string path = args.getString("metrics");
@@ -408,16 +457,29 @@ cmdErt(int argc, const char *const *argv)
                    "empirical roofline of a simulated Snapdragon IP");
     args.addOption("engine", "CPU, GPU, or DSP", "CPU");
     args.addOption("chip", "sd835 or sd821", "sd835");
+    args.addOption("metrics",
+                   "write a run-report JSON with the samples and the "
+                   "fit to this path");
+    addJobsOption(args);
     if (!args.parse(argc, argv, std::cerr))
         return 1;
 
-    auto soc = args.getString("chip", "sd835") == "sd821"
-                   ? SocCatalog::snapdragon821Sim()
-                   : SocCatalog::snapdragon835Sim();
+    std::string chip = args.getString("chip", "sd835");
+    if (chip != "sd835" && chip != "sd821")
+        fatal("unknown chip '" + chip + "' (try sd835 or sd821)");
+    // Each pool worker builds its own simulator, so trials run
+    // concurrently without sharing mutable simulator state.
+    ErtSweep::SocFactory make_soc = [&chip] {
+        return chip == "sd821" ? SocCatalog::snapdragon821Sim()
+                               : SocCatalog::snapdragon835Sim();
+    };
+    int jobs = resolveJobs(args);
     ErtConfig config;
     config.intensities = ErtConfig::defaultIntensities();
     std::string engine = args.getString("engine", "CPU");
-    auto samples = ErtSweep::run(*soc, engine, config);
+    parallel::ForStats pstats;
+    auto samples = ErtSweep::run(make_soc, engine, config, jobs,
+                                 &pstats);
     RooflineFit fit = RooflineFitter::fitDram(samples);
 
     TextTable t({"I (ops/B)", "ops/s", "DRAM B/s"});
@@ -429,6 +491,44 @@ cmdErt(int argc, const char *const *argv)
               << formatOpsRate(fit.peakOps) << ", DRAM "
               << formatByteRate(fit.peakBw) << ", ridge "
               << formatDouble(fit.ridge, 3) << " ops/B\n";
+
+    if (args.has("metrics")) {
+        telemetry::StatsRegistry reg;
+        telemetry::TimeSeries &ops = reg.timeSeries(
+            "ert.ops_rate", "achieved ops/s vs kernel intensity");
+        telemetry::TimeSeries &dram = reg.timeSeries(
+            "ert.dram_byte_rate",
+            "achieved DRAM-side bytes/s vs kernel intensity");
+        for (const ErtSample &s : samples) {
+            ops.sample(s.opsPerByte, s.opsRate);
+            dram.sample(s.opsPerByte, s.missByteRate);
+        }
+        reg.counter("ert.fit.peak_ops",
+                    "fitted peak compute rate (ops/s)")
+            .add(fit.peakOps);
+        reg.counter("ert.fit.peak_bw",
+                    "fitted peak DRAM bandwidth (bytes/s)")
+            .add(fit.peakBw);
+        reg.counter("ert.fit.ridge",
+                    "fitted ridge point (ops/byte)")
+            .add(fit.ridge);
+        recordParallelStats(reg, pstats);
+
+        telemetry::RunReport report("gables ert", chip);
+        report.addConfig("chip", chip);
+        report.addConfig("engine", engine);
+        report.addConfig("points",
+                         static_cast<long>(samples.size()));
+        report.addConfig("jobs", static_cast<long>(jobs));
+        report.setRegistry(&reg);
+
+        std::string path = args.getString("metrics");
+        std::ofstream out(path);
+        if (!out)
+            fatal("cannot open '" + path + "'");
+        report.write(out);
+        std::cout << "wrote " << path << '\n';
+    }
     return 0;
 }
 
@@ -607,6 +707,10 @@ cmdExplore(int argc, const char *const *argv)
                               "wifi, gaming, call, ar)",
                    "capture");
     args.addOption("points", "grid points per knob", "5");
+    args.addOption("metrics",
+                   "write a run-report JSON with the frontier to "
+                   "this path");
+    addJobsOption(args);
     if (!args.parse(argc, argv, std::cerr))
         return 1;
 
@@ -640,7 +744,9 @@ cmdExplore(int argc, const char *const *argv)
     for (long i = 0; i < points; ++i)
         bpeaks.push_back(15e9 + i * 15e9);
     explorer.sweepBpeak(bpeaks);
-    auto candidates = explorer.explore();
+    int jobs = resolveJobs(args);
+    parallel::ForStats pstats;
+    auto candidates = explorer.explore(jobs, &pstats);
     auto frontier = DesignExplorer::frontier(candidates);
 
     std::cout << "explored " << candidates.size()
@@ -652,6 +758,35 @@ cmdExplore(int argc, const char *const *argv)
                   formatDouble(c.cost, 1)});
     }
     std::cout << t.render();
+
+    if (args.has("metrics")) {
+        telemetry::StatsRegistry reg;
+        reg.counter("explorer.candidates",
+                    "designs evaluated over the knob cross product")
+            .add(static_cast<double>(candidates.size()));
+        reg.counter("explorer.pareto",
+                    "designs on the Pareto frontier")
+            .add(static_cast<double>(frontier.size()));
+        telemetry::TimeSeries &ts = reg.timeSeries(
+            "explorer.frontier.perf_vs_cost",
+            "frontier minimum attainable ops/s keyed by design cost");
+        for (const Candidate &c : frontier)
+            ts.sample(c.cost, c.minPerf);
+        recordParallelStats(reg, pstats);
+
+        telemetry::RunReport report("gables explore", base.name());
+        report.addConfig("usecase", name);
+        report.addConfig("points", points);
+        report.addConfig("jobs", static_cast<long>(jobs));
+        report.setRegistry(&reg);
+
+        std::string path = args.getString("metrics");
+        std::ofstream out(path);
+        if (!out)
+            fatal("cannot open '" + path + "'");
+        report.write(out);
+        std::cout << "wrote " << path << '\n';
+    }
     return 0;
 }
 

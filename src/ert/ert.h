@@ -10,9 +10,12 @@
 #ifndef GABLES_ERT_ERT_H
 #define GABLES_ERT_ERT_H
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "parallel/parallel_for.h"
 #include "sim/soc.h"
 
 namespace gables {
@@ -52,17 +55,40 @@ struct ErtConfig {
 
 /**
  * ERT sweep driver.
+ *
+ * A SimSoc is single-threaded state, so the parallel overloads take
+ * a factory instead of a live simulator: each worker of the pool
+ * builds (lazily, once) its own SimSoc and runs a share of the trial
+ * batch on it. Every trial resets the simulator, so samples are
+ * byte-identical for any job count.
  */
 class ErtSweep
 {
   public:
+    /** Builds one private simulator instance per pool worker. */
+    using SocFactory =
+        std::function<std::unique_ptr<sim::SimSoc>()>;
+
     /**
      * Run the kernel on engine @p engine_name of @p soc, alone on
-     * the chip, once per intensity in @p config.
+     * the chip, once per intensity in @p config (serial path).
      */
     static std::vector<ErtSample> run(sim::SimSoc &soc,
                                       const std::string &engine_name,
                                       const ErtConfig &config);
+
+    /**
+     * Parallel trial batch: like run(soc, ...) but with @p jobs pool
+     * workers, each running trials on its own @p make_soc instance.
+     *
+     * @param jobs  Worker count (1 = serial, 0 = hardware).
+     * @param stats Optional out: worker count and busy time.
+     */
+    static std::vector<ErtSample> run(const SocFactory &make_soc,
+                                      const std::string &engine_name,
+                                      const ErtConfig &config,
+                                      int jobs = 1,
+                                      parallel::ForStats *stats = nullptr);
 
     /**
      * Sweep working-set size at fixed intensity to expose local-
@@ -76,6 +102,13 @@ class ErtSweep
         sim::SimSoc &soc, const std::string &engine_name,
         const std::vector<double> &working_sets, double intensity,
         double bytes_per_point = 256.0 * 1024 * 1024);
+
+    /** Parallel working-set sweep over per-worker simulators. */
+    static std::vector<ErtSample> workingSetSweep(
+        const SocFactory &make_soc, const std::string &engine_name,
+        const std::vector<double> &working_sets, double intensity,
+        double bytes_per_point = 256.0 * 1024 * 1024, int jobs = 1,
+        parallel::ForStats *stats = nullptr);
 };
 
 } // namespace gables

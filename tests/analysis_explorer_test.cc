@@ -87,6 +87,48 @@ TEST(Explorer, DominatedDesignsNotPareto)
     EXPECT_EQ(pareto_count, 1);
 }
 
+TEST(Explorer, TiedCostAndPerformanceAreBothPareto)
+{
+    // Two designs with identical cost AND identical performance tie:
+    // neither strictly beats the other on any axis, so domination
+    // (>= on both, > on at least one) holds for neither and both
+    // must carry the Pareto flag. A free-bandwidth cost model makes
+    // the two Bpeak grid points exact ties -- both saturate the same
+    // compute roof at 160 Gops/s and cost only their (equal)
+    // acceleration budget.
+    SocSpec base = SocCatalog::paperTwoIp();
+    Usecase u = Usecase::twoIp("u", 0.75, 8.0, 8.0);
+    CostModel free_bw;
+    free_bw.costPerAcceleration = 1.0;
+    free_bw.costPerBpeak = 0.0;
+    free_bw.costPerIpBandwidth = 0.0;
+    DesignExplorer ex(base, {u}, free_bw);
+    ex.sweepBpeak({20e9, 40e9}); // both reach 160 Gops/s
+    auto candidates = ex.explore();
+    ASSERT_EQ(candidates.size(), 2u);
+    EXPECT_DOUBLE_EQ(candidates[0].minPerf, candidates[1].minPerf);
+    EXPECT_DOUBLE_EQ(candidates[0].cost, candidates[1].cost);
+    EXPECT_TRUE(candidates[0].pareto);
+    EXPECT_TRUE(candidates[1].pareto);
+    // And the frontier keeps both ties rather than dropping one.
+    EXPECT_EQ(DesignExplorer::frontier(candidates).size(), 2u);
+}
+
+TEST(Explorer, EqualPerfCheaperDesignDominates)
+{
+    // Same performance tie, but once bandwidth costs money again the
+    // cheaper of the two tied designs is the only Pareto point.
+    SocSpec base = SocCatalog::paperTwoIp();
+    Usecase u = Usecase::twoIp("u", 0.75, 8.0, 8.0);
+    DesignExplorer ex(base, {u}, simpleCost());
+    ex.sweepBpeak({20e9, 40e9});
+    auto candidates = ex.explore();
+    ASSERT_EQ(candidates.size(), 2u);
+    EXPECT_DOUBLE_EQ(candidates[0].minPerf, candidates[1].minPerf);
+    for (const Candidate &c : candidates)
+        EXPECT_EQ(c.pareto, c.soc.bpeak() == 20e9);
+}
+
 TEST(Explorer, FrontierSortedByCost)
 {
     SocSpec base = SocCatalog::paperTwoIp();

@@ -11,14 +11,20 @@
  *  - bound consistency: Pattainable equals the minimum over the
  *    scaled rooflines evaluated at their operating intensities;
  *  - concurrency dominance: base (concurrent) Gables never loses to
- *    the serialized extension.
+ *    the serialized extension;
+ *  - explorer invariants: a candidate's minPerf is the minimum of
+ *    its per-usecase scores, and Pareto extraction is independent of
+ *    the order the grid is enumerated in.
  */
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <tuple>
 
+#include "analysis/explorer.h"
 #include "core/gables.h"
 #include "core/serialized.h"
 #include "util/rng.h"
@@ -186,6 +192,105 @@ TEST_P(GablesProperty, BottleneckResourceHasUnitElasticityLocally)
                                soc.withBpeak(soc.bpeak() * 1.0001), u)
                                .attainable;
             EXPECT_GT(grown, r.attainable);
+        }
+    }
+}
+
+/** Draw a random SoC guaranteed to have at least two IPs. */
+SocSpec
+randomMultiIpSoc(Rng &rng)
+{
+    SocSpec soc = randomSoc(rng);
+    while (soc.numIps() < 2)
+        soc = randomSoc(rng);
+    return soc;
+}
+
+/** A random explorer over Bpeak and A1 grids for @p soc. */
+DesignExplorer
+randomExplorer(Rng &rng, const SocSpec &soc,
+               std::vector<double> bpeaks, std::vector<double> accels)
+{
+    size_t n_usecases = static_cast<size_t>(rng.uniformInt(1, 4));
+    std::vector<Usecase> usecases;
+    for (size_t i = 0; i < n_usecases; ++i)
+        usecases.push_back(randomUsecase(rng, soc.numIps()));
+    CostModel cost;
+    cost.costPerAcceleration = rng.uniform(0.1, 2.0);
+    cost.costPerBpeak = rng.logUniform(1e-10, 1e-8);
+    DesignExplorer ex(soc, std::move(usecases), cost);
+    ex.sweepBpeak(std::move(bpeaks));
+    ex.sweepAcceleration(1, std::move(accels));
+    return ex;
+}
+
+TEST_P(GablesProperty, ExplorerMinPerfIsWorstUsecase)
+{
+    Rng rng(GetParam() ^ 0x8888);
+    for (int trial = 0; trial < 5; ++trial) {
+        SocSpec soc = randomMultiIpSoc(rng);
+        std::vector<double> bpeaks, accels;
+        for (int i = 0; i < 4; ++i) {
+            bpeaks.push_back(rng.logUniform(1e9, 100e9));
+            accels.push_back(rng.logUniform(0.5, 50.0));
+        }
+        DesignExplorer ex =
+            randomExplorer(rng, soc, bpeaks, accels);
+        for (const Candidate &c : ex.explore()) {
+            ASSERT_FALSE(c.perUsecase.empty());
+            EXPECT_EQ(c.minPerf,
+                      *std::min_element(c.perUsecase.begin(),
+                                        c.perUsecase.end()))
+                << "seed " << GetParam() << " trial " << trial;
+        }
+    }
+}
+
+TEST_P(GablesProperty, ExplorerParetoOrderIndependent)
+{
+    // Permuting the enumeration order of the knob grids must not
+    // change which designs are Pareto-optimal.
+    Rng rng(GetParam() ^ 0x9999);
+    for (int trial = 0; trial < 5; ++trial) {
+        SocSpec soc = randomMultiIpSoc(rng);
+        std::vector<double> bpeaks, accels;
+        for (int i = 0; i < 4; ++i) {
+            bpeaks.push_back(rng.logUniform(1e9, 100e9));
+            accels.push_back(rng.logUniform(0.5, 50.0));
+        }
+        // Fisher-Yates permutations of both grids, rng-driven.
+        std::vector<double> bpeaks_p = bpeaks, accels_p = accels;
+        for (size_t i = bpeaks_p.size(); i > 1; --i)
+            std::swap(bpeaks_p[i - 1],
+                      bpeaks_p[static_cast<size_t>(rng.uniformInt(
+                          0, static_cast<int64_t>(i) - 1))]);
+        for (size_t i = accels_p.size(); i > 1; --i)
+            std::swap(accels_p[i - 1],
+                      accels_p[static_cast<size_t>(rng.uniformInt(
+                          0, static_cast<int64_t>(i) - 1))]);
+
+        uint64_t fork = rng.next(); // same downstream stream twice
+        Rng rng_a(fork), rng_b(fork);
+        DesignExplorer ex =
+            randomExplorer(rng_a, soc, bpeaks, accels);
+        DesignExplorer ex_p =
+            randomExplorer(rng_b, soc, bpeaks_p, accels_p);
+
+        // Key each candidate by its knob values; the Pareto flag
+        // must agree between the two enumerations.
+        using Key = std::tuple<double, double>;
+        std::map<Key, bool> pareto;
+        auto candidates = ex.explore();
+        for (const Candidate &c : candidates)
+            pareto[{c.soc.bpeak(), c.soc.ip(1).acceleration}] =
+                c.pareto;
+        auto permuted = ex_p.explore();
+        ASSERT_EQ(permuted.size(), candidates.size());
+        for (const Candidate &c : permuted) {
+            Key key{c.soc.bpeak(), c.soc.ip(1).acceleration};
+            ASSERT_TRUE(pareto.count(key));
+            EXPECT_EQ(c.pareto, pareto[key])
+                << "seed " << GetParam() << " trial " << trial;
         }
     }
 }
