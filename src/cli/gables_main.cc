@@ -35,6 +35,7 @@
 #include "telemetry/stats.h"
 #include "util/arg_parser.h"
 #include "util/logging.h"
+#include "util/parse.h"
 #include "util/strings.h"
 #include "util/table.h"
 #include "util/units.h"
@@ -42,6 +43,24 @@
 namespace {
 
 using namespace gables;
+
+/**
+ * Exit codes of the documented contract (docs/ERRORS.md): 0 success,
+ * 1 data/config/runtime error (FatalError), 2 CLI usage error.
+ */
+constexpr int kExitOk = 0;
+constexpr int kExitError = 1;
+constexpr int kExitUsage = 2;
+
+/**
+ * Map an ArgParser::parse failure to the exit-code contract: --help
+ * is a success, anything else is a usage error.
+ */
+int
+usageExit(const ArgParser &args)
+{
+    return args.helpRequested() ? kExitOk : kExitUsage;
+}
 
 /** Resolve a --soc option value to a catalog spec. */
 SocSpec
@@ -57,18 +76,20 @@ resolveSoc(const std::string &name)
         return SocCatalog::paperTwoIp();
     if (name == "paper-balanced")
         return SocCatalog::paperTwoIpBalanced();
-    fatal("unknown SoC '" + name +
-          "' (try sd835, sd835-full, sd821, paper, paper-balanced)");
+    fatal("unknown SoC '" + name + "'" +
+          didYouMean(name, {"sd835", "sd835-full", "sd821", "paper",
+                            "paper-balanced"}) +
+          " (try sd835, sd835-full, sd821, paper, paper-balanced)");
 }
 
 /** Declare the shared --jobs option on a grid command. */
 void
 addJobsOption(ArgParser &args)
 {
-    args.addOption("jobs",
-                   "worker threads for the grid (0 = all hardware "
-                   "threads, 1 = serial)",
-                   "0");
+    args.addIntOption("jobs",
+                      "worker threads for the grid (0 = all hardware "
+                      "threads, 1 = serial)",
+                      "0");
 }
 
 /** Resolve --jobs to a worker count (default: all hardware threads). */
@@ -110,16 +131,16 @@ cmdEval(int argc, const char *const *argv)
     args.addOption("soc", "catalog SoC name", "paper");
     args.addOption("file", "config file with the SoC and usecases");
     args.addOption("usecase", "usecase name from the file");
-    args.addOption("f", "fraction of work at IP[1]", "0.75");
-    args.addOption("i0", "operational intensity at IP[0]", "8");
-    args.addOption("i1", "operational intensity at IP[1]", "8");
+    args.addDoubleOption("f", "fraction of work at IP[1]", "0.75");
+    args.addDoubleOption("i0", "operational intensity at IP[0]", "8");
+    args.addDoubleOption("i1", "operational intensity at IP[1]", "8");
     args.addFlag("json", "emit the result as JSON");
     args.addOption("svg", "write a scaled-roofline SVG to this path");
     args.addOption("viz-json",
                    "write the visualization JSON to this path");
     args.addFlag("ascii", "print an ASCII scaled-roofline plot");
     if (!args.parse(argc, argv, std::cerr))
-        return 1;
+        return usageExit(args);
 
     SocSpec soc = resolveSoc("paper");
     Usecase usecase("cli", {IpWork{1.0, 1.0}});
@@ -201,19 +222,21 @@ cmdSweep(int argc, const char *const *argv)
     ArgParser args("gables sweep",
                    "mixing sweep: performance vs fraction at IP[1]");
     args.addOption("soc", "catalog SoC name", "sd835");
-    args.addOption("i0", "intensity at IP[0]", "1");
-    args.addOption("i1", "intensity at IP[1]", "1");
-    args.addOption("points", "number of f points", "9");
+    args.addDoubleOption("i0", "intensity at IP[0]", "1");
+    args.addDoubleOption("i1", "intensity at IP[1]", "1");
+    args.addIntOption("points", "number of f points", "9");
     args.addFlag("ascii", "plot the sweep as ASCII");
     args.addOption("metrics",
                    "write a run-report JSON with the sweep series "
                    "to this path");
     addJobsOption(args);
     if (!args.parse(argc, argv, std::cerr))
-        return 1;
+        return usageExit(args);
 
     SocSpec soc = resolveSoc(args.getString("soc", "sd835"));
     long n = args.getInt("points", 9);
+    if (n < 2 || n > 1000000)
+        fatal("--points must be in [2, 1000000]");
     int jobs = resolveJobs(args);
     std::vector<double> fractions;
     for (long i = 0; i < n; ++i)
@@ -275,22 +298,22 @@ cmdSim(int argc, const char *const *argv)
                    "sd835");
     args.addOption("engines",
                    "comma-separated engine names (default: all)");
-    args.addOption("working-set", "working-set bytes per engine",
-                   "67108864");
-    args.addOption("bytes", "total bytes streamed per engine",
-                   "67108864");
-    args.addOption("intensity", "ops per byte (the roofline knob)",
-                   "1");
-    args.addOption("epochs",
-                   "time slices for utilization-vs-time series",
-                   "32");
+    args.addDoubleOption("working-set", "working-set bytes per engine",
+                         "67108864");
+    args.addDoubleOption("bytes", "total bytes streamed per engine",
+                         "67108864");
+    args.addDoubleOption("intensity",
+                         "ops per byte (the roofline knob)", "1");
+    args.addIntOption("epochs",
+                      "time slices for utilization-vs-time series",
+                      "32");
     args.addOption("metrics", "write the run-report JSON to this "
                               "path");
     args.addOption("trace",
                    "write a Perfetto/chrome://tracing JSON to this "
                    "path");
     if (!args.parse(argc, argv, std::cerr))
-        return 1;
+        return usageExit(args);
 
     std::string soc_name = args.getString("soc", "sd835");
     std::unique_ptr<sim::SimSoc> soc;
@@ -431,7 +454,7 @@ cmdUsecases(int argc, const char *const *argv)
                    "analyze the catalog usecases on a SoC");
     args.addOption("soc", "catalog SoC name", "sd835-full");
     if (!args.parse(argc, argv, std::cerr))
-        return 1;
+        return usageExit(args);
 
     SocSpec soc = resolveSoc(args.getString("soc", "sd835-full"));
     TextTable t({"usecase", "target fps", "max fps", "bottleneck",
@@ -462,11 +485,13 @@ cmdErt(int argc, const char *const *argv)
                    "fit to this path");
     addJobsOption(args);
     if (!args.parse(argc, argv, std::cerr))
-        return 1;
+        return usageExit(args);
 
     std::string chip = args.getString("chip", "sd835");
     if (chip != "sd835" && chip != "sd821")
-        fatal("unknown chip '" + chip + "' (try sd835 or sd821)");
+        fatal("unknown chip '" + chip + "'" +
+              didYouMean(chip, {"sd835", "sd821"}) +
+              " (try sd835 or sd821)");
     // Each pool worker builds its own simulator, so trials run
     // concurrently without sharing mutable simulator state.
     ErtSweep::SocFactory make_soc = [&chip] {
@@ -540,11 +565,11 @@ cmdAdvise(int argc, const char *const *argv)
     args.addOption("file", "config file with the SoC and usecases");
     args.addOption("usecase", "usecase name from the file");
     args.addOption("soc", "catalog SoC (when no file given)", "paper");
-    args.addOption("f", "fraction of work at IP[1]", "0.75");
-    args.addOption("i0", "intensity at IP[0]", "8");
-    args.addOption("i1", "intensity at IP[1]", "0.1");
+    args.addDoubleOption("f", "fraction of work at IP[1]", "0.75");
+    args.addDoubleOption("i0", "intensity at IP[0]", "8");
+    args.addDoubleOption("i1", "intensity at IP[1]", "0.1");
     if (!args.parse(argc, argv, std::cerr))
-        return 1;
+        return usageExit(args);
 
     SocSpec soc = resolveSoc("paper");
     Usecase usecase("cli", {IpWork{1.0, 1.0}});
@@ -593,13 +618,13 @@ cmdRobust(int argc, const char *const *argv)
     ArgParser args("gables robust",
                    "Monte-Carlo robustness of a usecase estimate");
     args.addOption("soc", "catalog SoC name", "paper-balanced");
-    args.addOption("f", "fraction of work at IP[1]", "0.75");
-    args.addOption("i0", "intensity at IP[0]", "8");
-    args.addOption("i1", "intensity at IP[1]", "8");
-    args.addOption("samples", "Monte-Carlo samples", "1000");
-    args.addOption("target", "ops/s target (0 = none)", "0");
+    args.addDoubleOption("f", "fraction of work at IP[1]", "0.75");
+    args.addDoubleOption("i0", "intensity at IP[0]", "8");
+    args.addDoubleOption("i1", "intensity at IP[1]", "8");
+    args.addIntOption("samples", "Monte-Carlo samples", "1000");
+    args.addDoubleOption("target", "ops/s target (0 = none)", "0");
     if (!args.parse(argc, argv, std::cerr))
-        return 1;
+        return usageExit(args);
 
     SocSpec soc = resolveSoc(args.getString("soc", "paper-balanced"));
     double f = args.getDouble("f", 0.75);
@@ -610,7 +635,10 @@ cmdRobust(int argc, const char *const *argv)
     Usecase usecase("cli", work);
 
     Robustness::Options opts;
-    opts.samples = static_cast<int>(args.getInt("samples", 1000));
+    long samples = args.getInt("samples", 1000);
+    if (samples < 1 || samples > 100000000)
+        fatal("--samples must be in [1, 100000000]");
+    opts.samples = static_cast<int>(samples);
     opts.target = args.getDouble("target", 0.0);
     RobustnessReport r = Robustness::analyze(soc, usecase, opts);
     std::cout << "nominal: " << formatOpsRate(r.nominal)
@@ -641,12 +669,12 @@ cmdPipeline(int argc, const char *const *argv)
     args.addOption("usecase", "hdr, capture, hfr, playback, lens, "
                               "wifi",
                    "hfr");
-    args.addOption("frames", "frames to simulate", "96");
-    args.addOption("fps", "source pacing (0 = unpaced)", "0");
+    args.addIntOption("frames", "frames to simulate", "96");
+    args.addDoubleOption("fps", "source pacing (0 = unpaced)", "0");
     args.addOption("trace",
                    "write a chrome://tracing JSON to this path");
     if (!args.parse(argc, argv, std::cerr))
-        return 1;
+        return usageExit(args);
 
     std::string name = args.getString("usecase", "hfr");
     UsecaseEntry entry = UsecaseCatalog::videocaptureHfr();
@@ -663,16 +691,20 @@ cmdPipeline(int argc, const char *const *argv)
     else if (name == "wifi")
         entry = UsecaseCatalog::wifiStreaming();
     else
-        fatal("unknown usecase '" + name + "'");
+        fatal("unknown usecase '" + name + "'" +
+              didYouMean(name, {"hdr", "capture", "hfr", "playback",
+                                "lens", "wifi"}));
 
     SocSpec soc = SocCatalog::snapdragon835Full();
     sim::PipelineSim sim(soc, entry.graph);
     sim::TraceRecorder trace;
     if (args.has("trace"))
         sim.setTraceRecorder(&trace);
+    long frames = args.getInt("frames", 96);
+    if (frames < 1 || frames > 1000000)
+        fatal("--frames must be in [1, 1000000]");
     sim::PipelineStats stats =
-        sim.run(static_cast<int>(args.getInt("frames", 96)),
-                args.getDouble("fps", 0.0));
+        sim.run(static_cast<int>(frames), args.getDouble("fps", 0.0));
     if (args.has("trace")) {
         std::string path = args.getString("trace");
         std::ofstream out(path);
@@ -706,13 +738,13 @@ cmdExplore(int argc, const char *const *argv)
                               "(hdr, capture, hfr, playback, lens, "
                               "wifi, gaming, call, ar)",
                    "capture");
-    args.addOption("points", "grid points per knob", "5");
+    args.addIntOption("points", "grid points per knob", "5");
     args.addOption("metrics",
                    "write a run-report JSON with the frontier to "
                    "this path");
     addJobsOption(args);
     if (!args.parse(argc, argv, std::cerr))
-        return 1;
+        return usageExit(args);
 
     SocSpec base = SocCatalog::snapdragon835Full();
     std::string name = args.getString("usecase", "capture");
@@ -733,13 +765,18 @@ cmdExplore(int argc, const char *const *argv)
             portfolio.push_back(entry.graph.toUsecase(base));
     }
     if (portfolio.empty())
-        fatal("unknown usecase '" + name + "'");
+        fatal("unknown usecase '" + name + "'" +
+              didYouMean(name, {"hdr", "capture", "hfr", "playback",
+                                "lens", "wifi", "gaming", "call",
+                                "ar"}));
 
     CostModel cost;
     cost.costPerAcceleration = 1.0;
     cost.costPerBpeak = 0.5e-9;
     DesignExplorer explorer(base, portfolio, cost);
     long points = args.getInt("points", 5);
+    if (points < 1 || points > 10000)
+        fatal("--points must be in [1, 10000]");
     std::vector<double> bpeaks;
     for (long i = 0; i < points; ++i)
         bpeaks.push_back(15e9 + i * 15e9);
@@ -797,7 +834,7 @@ cmdProvision(int argc, const char *const *argv)
                    "shrink a SoC to the cheapest design meeting "
                    "every catalog usecase target");
     if (!args.parse(argc, argv, std::cerr))
-        return 1;
+        return usageExit(args);
 
     SocSpec start = SocCatalog::snapdragon835Full();
     std::vector<Requirement> reqs;
@@ -832,7 +869,7 @@ cmdGlossary(int argc, const char *const *argv)
     ArgParser args("gables glossary",
                    "print the Gables parameter glossary (Table II)");
     if (!args.parse(argc, argv, std::cerr))
-        return 1;
+        return usageExit(args);
     TextTable t({"Parameter", "Description"});
     t.setAlign(1, TextTable::Align::Left);
     t.addRow({"-- HW inputs --", ""});
@@ -862,11 +899,11 @@ cmdBalance(int argc, const char *const *argv)
     ArgParser args("gables balance",
                    "balance report and sufficient bandwidths");
     args.addOption("soc", "catalog SoC name", "paper-balanced");
-    args.addOption("f", "fraction of work at IP[1]", "0.75");
-    args.addOption("i0", "intensity at IP[0]", "8");
-    args.addOption("i1", "intensity at IP[1]", "8");
+    args.addDoubleOption("f", "fraction of work at IP[1]", "0.75");
+    args.addDoubleOption("i0", "intensity at IP[0]", "8");
+    args.addDoubleOption("i1", "intensity at IP[1]", "8");
     if (!args.parse(argc, argv, std::cerr))
-        return 1;
+        return usageExit(args);
 
     SocSpec soc = resolveSoc(args.getString("soc", "paper-balanced"));
     double f = args.getDouble("f", 0.75);
@@ -887,6 +924,47 @@ cmdBalance(int argc, const char *const *argv)
     return 0;
 }
 
+int
+cmdValidate(int argc, const char *const *argv)
+{
+    ArgParser args("gables validate",
+                   "lint a config file without running anything: "
+                   "parse it, check the model invariants, and flag "
+                   "suspect values");
+    if (!args.parse(argc, argv, std::cerr))
+        return usageExit(args);
+    if (args.positional().size() != 1) {
+        std::cerr << "gables validate: expected exactly one config "
+                     "file path\n"
+                  << args.usage();
+        return kExitUsage;
+    }
+    const std::string &path = args.positional().front();
+    // Parse errors escape as ConfigError ("path:line: message") and
+    // exit 1 through the top-level handler.
+    SocConfig cfg = loadSocConfig(path);
+    int errors = 0;
+    int warnings = 0;
+    for (const LintFinding &f : lintSocConfig(cfg)) {
+        (f.error ? errors : warnings) += 1;
+        std::cerr << path << ": "
+                  << (f.error ? "error: " : "warning: ") << f.message
+                  << '\n';
+    }
+    if (errors > 0) {
+        std::cerr << path << ": invalid (" << errors << " error(s), "
+                  << warnings << " warning(s))\n";
+        return kExitError;
+    }
+    std::cout << path << ": ok: SoC '" << cfg.soc.name() << "', "
+              << cfg.soc.numIps() << " IP(s), " << cfg.usecases.size()
+              << " usecase(s)";
+    if (warnings > 0)
+        std::cout << ", " << warnings << " warning(s)";
+    std::cout << '\n';
+    return kExitOk;
+}
+
 void
 usage(std::ostream &out)
 {
@@ -904,10 +982,13 @@ usage(std::ostream &out)
            "  pipeline  frame-pipeline simulation of a usecase\n"
            "  explore   design-space exploration with Pareto output\n"
            "  provision shrink-to-fit inverse design for the catalog\n"
+           "  validate  lint a config file without running anything\n"
            "  glossary  the Gables parameter glossary (Table II)\n"
            "global options:\n"
            "  --log-level L  minimum severity written to stderr:\n"
            "                 debug, info (default), warn, error\n"
+           "exit codes: 0 success, 1 data/config error, 2 usage "
+           "error (see docs/ERRORS.md)\n"
            "run 'gables <command> --help' for per-command options\n";
 }
 
@@ -938,14 +1019,14 @@ main(int argc, char **argv)
         }
     } catch (const gables::FatalError &err) {
         std::cerr << "gables: " << err.what() << '\n';
-        return 1;
+        return kExitUsage;
     }
     int fargc = static_cast<int>(filtered.size());
     const char *const *fargv = filtered.data();
 
     if (fargc < 2) {
         usage(std::cerr);
-        return 1;
+        return kExitUsage;
     }
     std::string cmd = fargv[1];
     try {
@@ -971,17 +1052,29 @@ main(int argc, char **argv)
             return cmdExplore(fargc - 1, fargv + 1);
         if (cmd == "provision")
             return cmdProvision(fargc - 1, fargv + 1);
+        if (cmd == "validate")
+            return cmdValidate(fargc - 1, fargv + 1);
         if (cmd == "glossary")
             return cmdGlossary(fargc - 1, fargv + 1);
         if (cmd == "--help" || cmd == "help") {
             usage(std::cout);
-            return 0;
+            return kExitOk;
         }
-    } catch (const gables::FatalError &err) {
+    } catch (const gables::ConfigError &err) {
+        // The what() already carries the file:line location.
         std::cerr << "gables: " << err.what() << '\n';
-        return 1;
+        return kExitError;
+    } catch (const gables::FatalError &err) {
+        std::cerr << "gables: error: " << err.what() << '\n';
+        return kExitError;
     }
-    std::cerr << "gables: unknown command '" << cmd << "'\n";
+    std::cerr << "gables: unknown command '" << cmd << "'"
+              << gables::didYouMean(
+                     cmd, {"eval", "sweep", "sim", "usecases", "ert",
+                           "balance", "advise", "robust", "pipeline",
+                           "explore", "provision", "validate",
+                           "glossary", "help"})
+              << '\n';
     usage(std::cerr);
-    return 1;
+    return kExitUsage;
 }

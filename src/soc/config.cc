@@ -1,5 +1,6 @@
 #include "soc/config.h"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <limits>
@@ -7,6 +8,7 @@
 #include <sstream>
 
 #include "util/logging.h"
+#include "util/parse.h"
 #include "util/strings.h"
 #include "util/units.h"
 
@@ -19,17 +21,43 @@ SocConfig::usecase(const std::string &name) const
         if (u.name() == name)
             return u;
     }
-    fatal("config has no usecase named '" + name + "'");
+    std::vector<std::string> known;
+    for (const Usecase &u : usecases)
+        known.push_back(u.name());
+    fatal("config has no usecase named '" + name + "'" +
+          didYouMean(name, known));
 }
 
 namespace {
 
-/** Parse error helper carrying the line number. */
-[[noreturn]] void
-parseError(int line, const std::string &msg)
-{
-    fatal("config line " + std::to_string(line) + ": " + msg);
-}
+/** Parser state shared by the helpers: the diagnostic source name. */
+struct ParseContext {
+    std::string source;
+
+    /** Raise a ConfigError pointing at @p line of this document. */
+    [[noreturn]] void
+    error(int line, const std::string &msg) const
+    {
+        configError(SourceLoc{source, line}, msg);
+    }
+
+    /**
+     * Run @p fn (a numeric/unit parse) and re-raise its FatalError as
+     * a located ConfigError.
+     */
+    template <typename Fn>
+    auto
+    located(int line, Fn &&fn) const -> decltype(fn())
+    {
+        try {
+            return fn();
+        } catch (const ConfigError &) {
+            throw; // already located
+        } catch (const FatalError &err) {
+            error(line, err.what());
+        }
+    }
+};
 
 /** Strip comments (# or ;) outside of any quoting (we have none). */
 std::string
@@ -41,26 +69,24 @@ stripComment(const std::string &line)
 
 /** Parse "fraction @ intensity"; intensity may be "inf". */
 IpWork
-parseWork(const std::string &value, int line)
+parseWork(const ParseContext &ctx, const std::string &value, int line)
 {
     size_t at = value.find('@');
     if (at == std::string::npos)
-        parseError(line, "work value must be 'fraction @ intensity', "
-                         "got '" + value + "'");
+        ctx.error(line, "work value must be 'fraction @ intensity', "
+                        "got '" + value + "'");
     std::string frac_text = trim(value.substr(0, at));
     std::string int_text = trim(value.substr(at + 1));
-    char *end = nullptr;
-    double fraction = std::strtod(frac_text.c_str(), &end);
-    if (end == frac_text.c_str() || !trim(end).empty())
-        parseError(line, "bad fraction '" + frac_text + "'");
+    double fraction = ctx.located(line, [&] {
+        return parseDoubleStrict(frac_text, "fraction");
+    });
     double intensity;
     if (toLower(int_text) == "inf") {
         intensity = std::numeric_limits<double>::infinity();
     } else {
-        end = nullptr;
-        intensity = std::strtod(int_text.c_str(), &end);
-        if (end == int_text.c_str() || !trim(end).empty())
-            parseError(line, "bad intensity '" + int_text + "'");
+        intensity = ctx.located(line, [&] {
+            return parseDoubleStrict(int_text, "intensity");
+        });
     }
     return IpWork{fraction, intensity};
 }
@@ -81,14 +107,16 @@ struct PendingUsecase {
 } // namespace
 
 SocConfig
-parseSocConfig(const std::string &text)
+parseSocConfig(const std::string &text, const std::string &source)
 {
     enum class Section { None, Soc, Ip, Usecase };
 
+    ParseContext ctx{source};
     Section section = Section::None;
     std::string soc_name = "unnamed";
     std::optional<double> ppeak, bpeak;
     bool saw_soc = false;
+    int soc_line = 0;
     std::vector<PendingIp> ips;
     std::vector<PendingUsecase> usecases;
 
@@ -103,103 +131,143 @@ parseSocConfig(const std::string &text)
 
         if (line.front() == '[') {
             if (line.back() != ']')
-                parseError(line_no, "unterminated section header");
+                ctx.error(line_no, "unterminated section header");
             std::string header = trim(line.substr(1, line.size() - 2));
             if (header == "soc") {
                 if (saw_soc)
-                    parseError(line_no, "duplicate [soc] section");
+                    ctx.error(line_no,
+                              "duplicate [soc] section (first defined "
+                              "at line " + std::to_string(soc_line) +
+                              ")");
                 saw_soc = true;
+                soc_line = line_no;
                 section = Section::Soc;
-            } else if (startsWith(header, "ip ")) {
-                std::string name = trim(header.substr(3));
+            } else if (header == "ip" || startsWith(header, "ip ")) {
+                // Bare "[ip]" (or "[ip ]", which trims to the same
+                // header) is a missing name, not an unknown section.
+                std::string name =
+                    header == "ip" ? "" : trim(header.substr(3));
                 if (name.empty())
-                    parseError(line_no, "[ip] needs a name");
+                    ctx.error(line_no, "[ip] needs a name");
                 for (const PendingIp &ip : ips) {
                     if (ip.name == name)
-                        parseError(line_no,
-                                   "duplicate IP '" + name + "'");
+                        ctx.error(line_no,
+                                  "duplicate IP '" + name +
+                                      "' (first defined at line " +
+                                      std::to_string(ip.line) + ")");
                 }
                 ips.push_back(PendingIp{name, {}, {}, line_no});
                 section = Section::Ip;
-            } else if (startsWith(header, "usecase ")) {
-                std::string name = trim(header.substr(8));
+            } else if (header == "usecase" ||
+                       startsWith(header, "usecase ")) {
+                std::string name =
+                    header == "usecase" ? "" : trim(header.substr(8));
                 if (name.empty())
-                    parseError(line_no, "[usecase] needs a name");
+                    ctx.error(line_no, "[usecase] needs a name");
+                for (const PendingUsecase &u : usecases) {
+                    if (u.name == name)
+                        ctx.error(line_no,
+                                  "duplicate usecase '" + name +
+                                      "' (first defined at line " +
+                                      std::to_string(u.line) +
+                                      "); later sections would "
+                                      "silently shadow earlier ones");
+                }
                 usecases.push_back(PendingUsecase{name, {}, line_no});
                 section = Section::Usecase;
             } else {
-                parseError(line_no,
-                           "unknown section '[" + header + "]'");
+                std::string kind = header.substr(0, header.find(' '));
+                ctx.error(line_no,
+                          "unknown section '[" + header + "]'" +
+                              didYouMean(kind,
+                                         {"soc", "ip", "usecase"}));
             }
             continue;
         }
 
         size_t eq = line.find('=');
         if (eq == std::string::npos)
-            parseError(line_no, "expected 'key = value'");
+            ctx.error(line_no, "expected 'key = value'");
         std::string key = trim(line.substr(0, eq));
         std::string value = trim(line.substr(eq + 1));
         if (key.empty() || value.empty())
-            parseError(line_no, "empty key or value");
+            ctx.error(line_no, "empty key or value");
 
         switch (section) {
           case Section::None:
-            parseError(line_no, "key outside any section");
+            ctx.error(line_no, "key outside any section");
           case Section::Soc:
-            if (key == "name")
+            if (key == "name") {
                 soc_name = value;
-            else if (key == "ppeak")
-                ppeak = parseRate(value);
-            else if (key == "bpeak")
-                bpeak = parseRate(value);
-            else
-                parseError(line_no, "unknown [soc] key '" + key + "'");
+            } else if (key == "ppeak") {
+                ppeak = ctx.located(line_no,
+                                    [&] { return parseRate(value); });
+            } else if (key == "bpeak") {
+                bpeak = ctx.located(line_no,
+                                    [&] { return parseRate(value); });
+            } else {
+                ctx.error(line_no,
+                          "unknown [soc] key '" + key + "'" +
+                              didYouMean(key,
+                                         {"name", "ppeak", "bpeak"}));
+            }
             break;
           case Section::Ip:
             if (key == "accel") {
-                char *end = nullptr;
-                ips.back().accel = std::strtod(value.c_str(), &end);
-                if (end == value.c_str() || !trim(end).empty())
-                    parseError(line_no, "bad accel '" + value + "'");
+                ips.back().accel = ctx.located(line_no, [&] {
+                    return parseDoubleStrict(value, "accel");
+                });
             } else if (key == "bandwidth") {
-                ips.back().bandwidth = parseRate(value);
+                ips.back().bandwidth = ctx.located(line_no, [&] {
+                    return parseRate(value);
+                });
             } else {
-                parseError(line_no, "unknown [ip] key '" + key + "'");
+                ctx.error(line_no,
+                          "unknown [ip] key '" + key + "'" +
+                              didYouMean(key,
+                                         {"accel", "bandwidth"}));
             }
             break;
           case Section::Usecase:
             for (const auto &[ip, work] : usecases.back().work) {
                 if (ip == key)
-                    parseError(line_no, "duplicate work entry for '" +
-                                            key + "'");
+                    ctx.error(line_no, "duplicate work entry for '" +
+                                           key + "'");
             }
-            usecases.back().work.emplace_back(key,
-                                              parseWork(value,
-                                                        line_no));
+            usecases.back().work.emplace_back(
+                key, parseWork(ctx, value, line_no));
             break;
         }
     }
 
     if (!saw_soc)
-        fatal("config is missing the [soc] section");
+        ctx.error(1, "config is missing the [soc] section");
     if (!ppeak)
-        fatal("config [soc] is missing 'ppeak'");
+        ctx.error(soc_line, "config [soc] is missing 'ppeak'");
     if (!bpeak)
-        fatal("config [soc] is missing 'bpeak'");
+        ctx.error(soc_line, "config [soc] is missing 'bpeak'");
     if (ips.empty())
-        fatal("config declares no [ip ...] sections");
+        ctx.error(soc_line, "config declares no [ip ...] sections");
 
     std::vector<IpSpec> specs;
     for (const PendingIp &ip : ips) {
         if (!ip.accel)
-            parseError(ip.line, "IP '" + ip.name +
-                                    "' is missing 'accel'");
+            ctx.error(ip.line,
+                      "IP '" + ip.name + "' is missing 'accel'");
         if (!ip.bandwidth)
-            parseError(ip.line, "IP '" + ip.name +
-                                    "' is missing 'bandwidth'");
+            ctx.error(ip.line,
+                      "IP '" + ip.name + "' is missing 'bandwidth'");
         specs.push_back(IpSpec{ip.name, *ip.accel, *ip.bandwidth});
     }
-    SocSpec soc(soc_name, *ppeak, *bpeak, std::move(specs));
+    // SocSpec's constructor enforces the model invariants (positive
+    // rates, A0 == 1); point any violation at the [soc] section.
+    SocSpec soc = ctx.located(soc_line, [&] {
+        return SocSpec(soc_name, *ppeak, *bpeak, std::move(specs));
+    });
+
+    std::vector<std::string> ip_names;
+    for (size_t i = 0; i < soc.numIps(); ++i)
+        ip_names.push_back(soc.ip(i).name);
 
     std::vector<Usecase> built;
     for (const PendingUsecase &pu : usecases) {
@@ -209,13 +277,18 @@ parseSocConfig(const std::string &text)
             try {
                 idx = soc.ipIndex(ip_name);
             } catch (const FatalError &) {
-                parseError(pu.line, "usecase '" + pu.name +
-                                        "' names unknown IP '" +
-                                        ip_name + "'");
+                ctx.error(pu.line,
+                          "usecase '" + pu.name +
+                              "' names unknown IP '" + ip_name + "'" +
+                              didYouMean(ip_name, ip_names));
             }
             work[idx] = w;
         }
-        built.emplace_back(pu.name, std::move(work));
+        // Usecase's constructor enforces fraction/intensity sanity
+        // (fractions sum to 1, positive intensity where work lands).
+        built.push_back(ctx.located(pu.line, [&] {
+            return Usecase(pu.name, std::move(work));
+        }));
     }
     return SocConfig{std::move(soc), std::move(built)};
 }
@@ -228,7 +301,70 @@ loadSocConfig(const std::string &path)
         fatal("cannot open config file '" + path + "'");
     std::ostringstream oss;
     oss << in.rdbuf();
-    return parseSocConfig(oss.str());
+    return parseSocConfig(oss.str(), path);
+}
+
+std::vector<LintFinding>
+lintSocConfig(const SocConfig &cfg)
+{
+    std::vector<LintFinding> findings;
+    auto check = [&](bool error, const std::string &msg) {
+        findings.push_back(LintFinding{error, msg});
+    };
+
+    // Re-run the model invariants defensively: a SocConfig built by
+    // hand (not through parseSocConfig) may not have been validated.
+    try {
+        cfg.soc.validate();
+    } catch (const FatalError &err) {
+        check(true, err.what());
+    }
+    for (const Usecase &u : cfg.usecases) {
+        try {
+            u.validate();
+        } catch (const FatalError &err) {
+            check(true, err.what());
+        }
+        if (u.numIps() != cfg.soc.numIps())
+            check(true, "usecase '" + u.name() + "' covers " +
+                            std::to_string(u.numIps()) +
+                            " IPs but the SoC declares " +
+                            std::to_string(cfg.soc.numIps()));
+    }
+
+    if (cfg.usecases.empty())
+        check(false, "config declares no usecases; nothing to "
+                     "evaluate");
+
+    // Unreferenced IPs: hardware that no usecase ever sends work to.
+    for (size_t i = 0; i < cfg.soc.numIps(); ++i) {
+        bool referenced = false;
+        for (const Usecase &u : cfg.usecases)
+            referenced = referenced ||
+                         (i < u.numIps() && u.fraction(i) > 0.0);
+        if (!referenced && !cfg.usecases.empty())
+            check(false, "IP '" + cfg.soc.ip(i).name +
+                             "' is not referenced by any usecase");
+    }
+
+    // IP links faster than the off-chip interface are legal (Bpeak
+    // caps them) but usually a typo in one of the two rates.
+    for (size_t i = 0; i < cfg.soc.numIps(); ++i) {
+        if (cfg.soc.ip(i).bandwidth > cfg.soc.bpeak())
+            check(false, "IP '" + cfg.soc.ip(i).name +
+                             "' bandwidth " +
+                             formatByteRate(cfg.soc.ip(i).bandwidth) +
+                             " exceeds Bpeak " +
+                             formatByteRate(cfg.soc.bpeak()) +
+                             "; the off-chip interface caps it");
+    }
+
+    // Errors first, then warnings, each in declaration order.
+    std::stable_sort(findings.begin(), findings.end(),
+                     [](const LintFinding &a, const LintFinding &b) {
+                         return a.error && !b.error;
+                     });
+    return findings;
 }
 
 std::string
@@ -255,8 +391,10 @@ formatSocConfig(const SocSpec &soc,
             const IpWork &w = u.at(i);
             if (w.fraction == 0.0)
                 continue;
+            // 12 significant digits so the reparsed fractions still
+            // sum to 1 within Usecase's 1e-9 tolerance.
             oss << soc.ip(i).name << " = "
-                << formatDouble(w.fraction, 9) << " @ "
+                << formatDouble(w.fraction, 12) << " @ "
                 << (std::isinf(w.intensity)
                         ? std::string("inf")
                         : formatDouble(w.intensity, 9))

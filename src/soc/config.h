@@ -54,27 +54,57 @@ struct SocConfig {
     std::vector<Usecase> usecases;
 
     /** @return The usecase named @p name.
-     * @throws FatalError if absent. */
+     * @throws FatalError if absent (with a did-you-mean suggestion
+     *         over the declared usecase names). */
     const Usecase &usecase(const std::string &name) const;
 };
 
 /**
  * Parse a configuration document.
  *
- * @param text The document text.
+ * @param text   The document text.
+ * @param source Input name used in diagnostics ("file" of the
+ *               file:line location); defaults to "config" for
+ *               in-memory documents.
  * @return The parsed configuration.
- * @throws FatalError with a line-numbered message on any syntax or
- *         semantic error.
+ * @throws ConfigError with a "source:line: message" diagnostic on any
+ *         syntax or semantic error; unknown sections and keys carry a
+ *         did-you-mean suggestion over the known-key set.
  */
-SocConfig parseSocConfig(const std::string &text);
+SocConfig parseSocConfig(const std::string &text,
+                         const std::string &source = "config");
 
 /**
- * Load and parse a configuration file.
+ * Load and parse a configuration file. Diagnostics use the file path
+ * as the location ("path:line: message").
  *
  * @param path Filesystem path.
- * @throws FatalError if the file cannot be read or parsed.
+ * @throws FatalError if the file cannot be read; ConfigError if it
+ *         cannot be parsed.
  */
 SocConfig loadSocConfig(const std::string &path);
+
+/**
+ * One finding from lintSocConfig(): either a hard error or an
+ * advisory warning about a parseable-but-suspect configuration.
+ */
+struct LintFinding {
+    /** True for problems that should fail `gables validate`. */
+    bool error;
+    /** Human-readable description. */
+    std::string message;
+};
+
+/**
+ * Lint a parsed configuration without evaluating anything: re-checks
+ * the model invariants (positive rates, fractions summing to 1) and
+ * flags advisory conditions — IPs no usecase references, a config
+ * with no usecases, and IP links faster than the off-chip interface.
+ *
+ * @return Findings in severity-then-declaration order; empty when the
+ *         configuration is clean.
+ */
+std::vector<LintFinding> lintSocConfig(const SocConfig &cfg);
 
 /**
  * Serialize a SoC and usecases back to the text format (round-trips

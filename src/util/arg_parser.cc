@@ -1,9 +1,10 @@
 #include "util/arg_parser.h"
 
-#include <cstdlib>
 #include <ostream>
 #include <sstream>
 
+#include "util/logging.h"
+#include "util/parse.h"
 #include "util/strings.h"
 
 namespace gables {
@@ -18,13 +19,28 @@ void
 ArgParser::addOption(const std::string &name, const std::string &help,
                      const std::string &def)
 {
-    specs_.emplace_back(name, Spec{help, def, false});
+    specs_.emplace_back(name, Spec{help, def, Kind::String});
+}
+
+void
+ArgParser::addIntOption(const std::string &name, const std::string &help,
+                        const std::string &def)
+{
+    specs_.emplace_back(name, Spec{help, def, Kind::Int});
+}
+
+void
+ArgParser::addDoubleOption(const std::string &name,
+                           const std::string &help,
+                           const std::string &def)
+{
+    specs_.emplace_back(name, Spec{help, def, Kind::Double});
 }
 
 void
 ArgParser::addFlag(const std::string &name, const std::string &help)
 {
-    specs_.emplace_back(name, Spec{help, "", true});
+    specs_.emplace_back(name, Spec{help, "", Kind::Flag});
 }
 
 const ArgParser::Spec *
@@ -38,8 +54,27 @@ ArgParser::findSpec(const std::string &name) const
 }
 
 bool
+ArgParser::checkValue(const std::string &name, const Spec &spec,
+                      const std::string &value, std::ostream &err) const
+{
+    try {
+        if (spec.kind == Kind::Int)
+            parseIntStrict(value, "option --" + name);
+        else if (spec.kind == Kind::Double)
+            parseDoubleStrict(value, "option --" + name);
+    } catch (const FatalError &) {
+        err << program_ << ": option --" << name << " expects "
+            << (spec.kind == Kind::Int ? "an integer" : "a number")
+            << ", got '" << value << "'\n";
+        return false;
+    }
+    return true;
+}
+
+bool
 ArgParser::parse(int argc, const char *const *argv, std::ostream &err)
 {
+    help_requested_ = false;
     bool options_done = false;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -61,29 +96,41 @@ ArgParser::parse(int argc, const char *const *argv, std::ostream &err)
         }
         const Spec *spec = findSpec(name);
         if (!spec) {
-            err << program_ << ": unknown option --" << name << "\n"
-                << usage();
+            std::vector<std::string> known;
+            for (const auto &[n, s] : specs_)
+                known.push_back(n);
+            err << program_ << ": unknown option --" << name;
+            if (std::optional<std::string> m = closestMatch(name, known))
+                err << " (did you mean '--" << *m << "'?)";
+            err << "\n" << usage();
             return false;
         }
-        if (spec->isFlag) {
+        if (spec->kind == Kind::Flag) {
             if (inline_value) {
                 err << program_ << ": flag --" << name
                     << " does not take a value\n";
                 return false;
             }
             values_[name] = "1";
-        } else if (inline_value) {
-            values_[name] = *inline_value;
         } else {
-            if (i + 1 >= argc) {
-                err << program_ << ": option --" << name
-                    << " requires a value\n";
-                return false;
+            std::string value;
+            if (inline_value) {
+                value = *inline_value;
+            } else {
+                if (i + 1 >= argc) {
+                    err << program_ << ": option --" << name
+                        << " requires a value\n";
+                    return false;
+                }
+                value = argv[++i];
             }
-            values_[name] = argv[++i];
+            if (!checkValue(name, *spec, value, err))
+                return false;
+            values_[name] = value;
         }
     }
     if (has("help")) {
+        help_requested_ = true;
         err << usage();
         return false;
     }
@@ -109,7 +156,7 @@ ArgParser::getDouble(const std::string &name, double def) const
     auto it = values_.find(name);
     if (it == values_.end())
         return def;
-    return std::strtod(it->second.c_str(), nullptr);
+    return parseDoubleStrict(it->second, "option --" + name);
 }
 
 long
@@ -118,7 +165,7 @@ ArgParser::getInt(const std::string &name, long def) const
     auto it = values_.find(name);
     if (it == values_.end())
         return def;
-    return std::strtol(it->second.c_str(), nullptr, 10);
+    return parseIntStrict(it->second, "option --" + name);
 }
 
 std::string
@@ -128,7 +175,14 @@ ArgParser::usage() const
     oss << "usage: " << program_ << " [options]\n  " << synopsis_
         << "\n\noptions:\n";
     for (const auto &[name, spec] : specs_) {
-        std::string left = "  --" + name + (spec.isFlag ? "" : " <value>");
+        const char *placeholder = "";
+        switch (spec.kind) {
+          case Kind::Flag: placeholder = ""; break;
+          case Kind::Int: placeholder = " <int>"; break;
+          case Kind::Double: placeholder = " <num>"; break;
+          case Kind::String: placeholder = " <value>"; break;
+        }
+        std::string left = "  --" + name + placeholder;
         oss << padRight(left, 28) << spec.help;
         if (!spec.def.empty())
             oss << " (default: " << spec.def << ")";

@@ -4,6 +4,12 @@
  * bench harness binaries. Supports `--flag`, `--name value`,
  * `--name=value`, typed accessors with defaults, positional
  * arguments, and generated usage text.
+ *
+ * Parsing is strict: unknown options fail with a did-you-mean
+ * suggestion over the declared option set, and options declared with
+ * addIntOption()/addDoubleOption() are validated at parse() time via
+ * the full-token parsers in util/parse.h, so `--jobs=abc` is a loud
+ * usage error instead of silently becoming 0.
  */
 
 #ifndef GABLES_UTIL_ARG_PARSER_H
@@ -38,17 +44,38 @@ class ArgParser
     void addOption(const std::string &name, const std::string &help,
                    const std::string &def = "");
 
+    /**
+     * Declare an integer option; parse() rejects values with trailing
+     * garbage or outside long's range.
+     */
+    void addIntOption(const std::string &name, const std::string &help,
+                      const std::string &def = "");
+
+    /**
+     * Declare a floating-point option; parse() rejects non-numeric
+     * values and trailing garbage.
+     */
+    void addDoubleOption(const std::string &name,
+                         const std::string &help,
+                         const std::string &def = "");
+
     /** Declare a boolean flag (present/absent). */
     void addFlag(const std::string &name, const std::string &help);
 
     /**
-     * Parse argv. Unknown options are an error; "--" ends option
-     * processing.
+     * Parse argv. Unknown options are an error (with a did-you-mean
+     * suggestion); typed option values are validated eagerly; "--"
+     * ends option processing.
      *
      * @return True on success; false if parsing failed or --help was
-     *         requested (usage is printed to the given stream).
+     *         requested (usage is printed to the given stream). Use
+     *         helpRequested() to tell the two apart for the CLI's
+     *         exit-code contract (0 for help, 2 for usage errors).
      */
     bool parse(int argc, const char *const *argv, std::ostream &err);
+
+    /** @return True when the last parse() saw --help. */
+    bool helpRequested() const { return help_requested_; }
 
     /** @return True if the flag or option @p name was supplied. */
     bool has(const std::string &name) const;
@@ -57,10 +84,19 @@ class ArgParser
     std::string getString(const std::string &name,
                           const std::string &def = "") const;
 
-    /** @return Double value of option @p name, or @p def. */
+    /**
+     * @return Double value of option @p name, or @p def when absent.
+     * @throws FatalError if the supplied value is not a full-token
+     *         number (cannot happen for addDoubleOption() options,
+     *         which parse() already validated).
+     */
     double getDouble(const std::string &name, double def) const;
 
-    /** @return Integer value of option @p name, or @p def. */
+    /**
+     * @return Integer value of option @p name, or @p def when absent.
+     * @throws FatalError if the supplied value is not a full-token
+     *         integer.
+     */
     long getInt(const std::string &name, long def) const;
 
     /** @return Positional (non-option) arguments in order. */
@@ -70,10 +106,13 @@ class ArgParser
     std::string usage() const;
 
   private:
+    /** Value type enforced when the option is parsed. */
+    enum class Kind { String, Int, Double, Flag };
+
     struct Spec {
         std::string help;
         std::string def;
-        bool isFlag;
+        Kind kind;
     };
 
     std::string program_;
@@ -81,8 +120,11 @@ class ArgParser
     std::vector<std::pair<std::string, Spec>> specs_;
     std::map<std::string, std::string> values_;
     std::vector<std::string> pos_;
+    bool help_requested_ = false;
 
     const Spec *findSpec(const std::string &name) const;
+    bool checkValue(const std::string &name, const Spec &spec,
+                    const std::string &value, std::ostream &err) const;
 };
 
 } // namespace gables

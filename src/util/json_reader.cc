@@ -1,9 +1,9 @@
 #include "util/json_reader.h"
 
 #include <cctype>
-#include <cstdlib>
 
 #include "util/logging.h"
+#include "util/parse.h"
 
 namespace gables {
 
@@ -251,10 +251,12 @@ class JsonParser
         if (pos_ == start)
             fail("expected a value");
         const std::string token = text_.substr(start, pos_ - start);
-        char *end = nullptr;
-        double d = std::strtod(token.c_str(), &end);
-        if (end == nullptr || *end != '\0')
+        double d = 0.0;
+        try {
+            d = parseDoubleStrict(token, "JSON number");
+        } catch (const FatalError &) {
             fail("malformed number '" + token + "'");
+        }
         JsonValue v;
         v.type_ = JsonValue::Type::Number;
         v.number_ = d;

@@ -95,6 +95,12 @@ warn(const std::string &msg)
 }
 
 void
+logError(const std::string &msg)
+{
+    emit(LogLevel::Error, "error: ", msg);
+}
+
+void
 fatal(const std::string &msg)
 {
     emit(LogLevel::Error, "fatal: ", msg);

@@ -1,0 +1,202 @@
+#include "util/parse.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace gables {
+
+std::string
+SourceLoc::str() const
+{
+    if (file.empty())
+        return line > 0 ? "line " + std::to_string(line) : "";
+    if (line <= 0)
+        return file;
+    return file + ":" + std::to_string(line);
+}
+
+ConfigError::ConfigError(SourceLoc loc, const std::string &msg)
+    : FatalError(loc.str().empty() ? msg : loc.str() + ": " + msg),
+      loc_(std::move(loc)), msg_(msg)
+{
+}
+
+void
+configError(const SourceLoc &loc, const std::string &msg)
+{
+    ConfigError err(loc, msg);
+    // Mirror fatal(): surface the diagnostic on the log sink so
+    // non-CLI embedders see it even if they swallow the exception.
+    logError(err.what());
+    throw err;
+}
+
+namespace {
+
+/**
+ * Shared full-token scaffolding for the strict numeric parsers.
+ * Throws without logging: these are building blocks whose callers
+ * either re-wrap the error with location context (configError) or
+ * surface it at the CLI top level — logging here would double-report.
+ */
+[[noreturn]] void
+badToken(const std::string &what, const std::string &text,
+         const std::string &why)
+{
+    throw FatalError("cannot parse " + what + " '" + text + "': " +
+                     why);
+}
+
+} // namespace
+
+double
+parseDoubleStrict(const std::string &text, const std::string &what)
+{
+    std::string token = trim(text);
+    if (token.empty())
+        badToken(what, text, "empty input");
+    const char *begin = token.c_str();
+    char *end = nullptr;
+    errno = 0;
+    double value = std::strtod(begin, &end);
+    if (end == begin)
+        badToken(what, text, "not a number");
+    if (*end != '\0')
+        badToken(what, text,
+                 "trailing garbage '" + std::string(end) + "'");
+    if (errno == ERANGE && std::isinf(value))
+        badToken(what, text, "magnitude out of range");
+    return value;
+}
+
+long
+parseIntStrict(const std::string &text, const std::string &what)
+{
+    std::string token = trim(text);
+    if (token.empty())
+        badToken(what, text, "empty input");
+    const char *begin = token.c_str();
+    char *end = nullptr;
+    errno = 0;
+    long value = std::strtol(begin, &end, 10);
+    if (end == begin)
+        badToken(what, text, "not an integer");
+    if (*end != '\0')
+        badToken(what, text,
+                 "trailing garbage '" + std::string(end) + "'");
+    if (errno == ERANGE)
+        badToken(what, text, "magnitude out of range");
+    return value;
+}
+
+long
+parseIntInRange(const std::string &text, long lo, long hi,
+                const std::string &what)
+{
+    long value = parseIntStrict(text, what);
+    if (value < lo || value > hi)
+        badToken(what, text,
+                 "value must be in [" + std::to_string(lo) + ", " +
+                     std::to_string(hi) + "]");
+    return value;
+}
+
+double
+parseDoubleInRange(const std::string &text, double lo, double hi,
+                   const std::string &what)
+{
+    double value = parseDoubleStrict(text, what);
+    if (!(value >= lo) || !(value <= hi))
+        badToken(what, text,
+                 "value must be in [" + formatDouble(lo) + ", " +
+                     formatDouble(hi) + "]");
+    return value;
+}
+
+double
+parsePositiveDouble(const std::string &text, const std::string &what)
+{
+    double value = parseDoubleStrict(text, what);
+    if (!(value > 0.0))
+        badToken(what, text, "value must be > 0");
+    return value;
+}
+
+double
+parseNonNegativeDouble(const std::string &text, const std::string &what)
+{
+    double value = parseDoubleStrict(text, what);
+    if (!(value >= 0.0))
+        badToken(what, text, "value must be >= 0");
+    return value;
+}
+
+bool
+parseDoublePrefix(const std::string &text, double *value,
+                  std::string *rest)
+{
+    const char *begin = text.c_str();
+    char *end = nullptr;
+    errno = 0;
+    double parsed = std::strtod(begin, &end);
+    if (end == begin || (errno == ERANGE && std::isinf(parsed)))
+        return false;
+    *value = parsed;
+    *rest = std::string(end);
+    return true;
+}
+
+size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    // Single-row Levenshtein DP; key sets are tiny, so O(|a||b|) is
+    // more than fast enough.
+    std::vector<size_t> row(b.size() + 1);
+    for (size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+        size_t diag = row[0];
+        row[0] = i;
+        for (size_t j = 1; j <= b.size(); ++j) {
+            size_t up = row[j];
+            size_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+            row[j] = std::min({row[j - 1] + 1, up + 1, subst});
+            diag = up;
+        }
+    }
+    return row[b.size()];
+}
+
+std::optional<std::string>
+closestMatch(const std::string &word,
+             const std::vector<std::string> &candidates)
+{
+    std::string low = toLower(word);
+    size_t threshold = low.size() <= 3 ? 1 : 2;
+    size_t best = threshold + 1;
+    std::optional<std::string> match;
+    for (const std::string &cand : candidates) {
+        size_t dist = editDistance(low, toLower(cand));
+        if (dist < best && dist < std::max<size_t>(low.size(), 1)) {
+            best = dist;
+            match = cand;
+        }
+    }
+    return match;
+}
+
+std::string
+didYouMean(const std::string &word,
+           const std::vector<std::string> &candidates)
+{
+    std::optional<std::string> match = closestMatch(word, candidates);
+    if (!match)
+        return "";
+    return " (did you mean '" + *match + "'?)";
+}
+
+} // namespace gables

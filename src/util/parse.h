@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Strict input parsing and diagnostics for every Gables input path.
+ *
+ * Gables results are only as trustworthy as the Ppeak/Bi/fi@Ii numbers
+ * fed in, so nothing that reads user input may silently accept
+ * garbage. This header is the single home of numeric text parsing:
+ * full-token parsers that reject trailing garbage and out-of-range
+ * values, ranged/sign-checked variants, a ConfigError diagnostic type
+ * carrying a source location (file:line), and did-you-mean suggestion
+ * helpers for unknown keys. The null-end-pointer strtod/strtol idiom
+ * is banned outside src/util/parse.cc (CI greps for it).
+ */
+
+#ifndef GABLES_UTIL_PARSE_H
+#define GABLES_UTIL_PARSE_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace gables {
+
+/**
+ * Where a diagnostic points: a file (or pseudo-file such as "config"
+ * for in-memory documents) and a 1-based line number. Formats in the
+ * conventional compiler style "file:line".
+ */
+struct SourceLoc {
+    /** File path or input name; empty when unknown. */
+    std::string file;
+    /** 1-based line number; 0 when unknown. */
+    int line = 0;
+
+    /** @return "file:line", "file", or "" as components are known. */
+    std::string str() const;
+};
+
+/**
+ * A user-input error with a source location, thrown by the config
+ * parser and the `gables validate` linter. Derives from FatalError so
+ * every existing catch site keeps working; what() is the full
+ * "file:line: message" diagnostic.
+ */
+class ConfigError : public FatalError
+{
+  public:
+    ConfigError(SourceLoc loc, const std::string &msg);
+
+    /** @return The source location the diagnostic points at. */
+    const SourceLoc &where() const { return loc_; }
+
+    /** @return The message without the location prefix. */
+    const std::string &message() const { return msg_; }
+
+  private:
+    SourceLoc loc_;
+    std::string msg_;
+};
+
+/**
+ * Report a located user-input error: log it like fatal() and throw
+ * ConfigError.
+ */
+[[noreturn]] void configError(const SourceLoc &loc,
+                              const std::string &msg);
+
+/**
+ * Parse a full-token floating-point number: the entire (trimmed) text
+ * must be consumed and the value must be finite unless the text is an
+ * explicit "inf"/"-inf".
+ *
+ * @param text Input text, e.g. "0.75" or "3e9".
+ * @param what Noun for error messages, e.g. "fraction".
+ * @throws FatalError on empty input, trailing garbage, or overflow.
+ */
+double parseDoubleStrict(const std::string &text,
+                         const std::string &what = "number");
+
+/**
+ * Parse a full-token base-10 integer.
+ *
+ * @param text Input text, e.g. "42" or "-7".
+ * @param what Noun for error messages, e.g. "worker count".
+ * @throws FatalError on empty input, trailing garbage (including a
+ *         fractional part), or values outside long's range.
+ */
+long parseIntStrict(const std::string &text,
+                    const std::string &what = "integer");
+
+/**
+ * parseIntStrict plus an inclusive range check.
+ * @throws FatalError when the value lies outside [lo, hi].
+ */
+long parseIntInRange(const std::string &text, long lo, long hi,
+                     const std::string &what = "integer");
+
+/**
+ * parseDoubleStrict plus an inclusive range check.
+ * @throws FatalError when the value lies outside [lo, hi].
+ */
+double parseDoubleInRange(const std::string &text, double lo, double hi,
+                          const std::string &what = "number");
+
+/** parseDoubleStrict restricted to values > 0. */
+double parsePositiveDouble(const std::string &text,
+                           const std::string &what = "number");
+
+/** parseDoubleStrict restricted to values >= 0. */
+double parseNonNegativeDouble(const std::string &text,
+                              const std::string &what = "number");
+
+/**
+ * Consume the leading number of a composite token such as "24.4GB/s".
+ *
+ * This is the one sanctioned entry point for prefix (non-full-token)
+ * numeric parsing; everything else goes through the strict parsers.
+ *
+ * @param text  Input text.
+ * @param value Receives the parsed number on success.
+ * @param rest  Receives the unconsumed remainder (untrimmed).
+ * @return False when @p text does not start with a number.
+ */
+bool parseDoublePrefix(const std::string &text, double *value,
+                       std::string *rest);
+
+/**
+ * Levenshtein edit distance between two strings (case-sensitive;
+ * lower-case both sides for fuzzy key matching).
+ */
+size_t editDistance(const std::string &a, const std::string &b);
+
+/**
+ * The candidate closest to @p word by case-insensitive edit distance,
+ * if any is close enough to plausibly be a typo (distance <= 1 for
+ * short words, <= 2 otherwise, and always < the word's length).
+ */
+std::optional<std::string>
+closestMatch(const std::string &word,
+             const std::vector<std::string> &candidates);
+
+/**
+ * Render a did-you-mean suffix for an unknown-key diagnostic.
+ *
+ * @return " (did you mean 'X'?)" for the closest candidate, or ""
+ *         when nothing is close enough.
+ */
+std::string didYouMean(const std::string &word,
+                       const std::vector<std::string> &candidates);
+
+} // namespace gables
+
+#endif // GABLES_UTIL_PARSE_H

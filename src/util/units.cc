@@ -3,10 +3,10 @@
 #include <array>
 #include <cctype>
 #include <cmath>
-#include <cstdlib>
 #include <sstream>
 
 #include "util/logging.h"
+#include "util/parse.h"
 #include "util/strings.h"
 
 namespace gables {
@@ -64,8 +64,10 @@ formatScaled(double value, const char *unit, int precision,
                 }
             }
         }
-    } else {
-        // Sub-unit magnitudes only make sense for decimal units.
+    } else if (!binary_prefixes) {
+        // Sub-unit magnitudes only make sense for decimal units;
+        // binary formatting clamps at the base unit so a fractional
+        // byte count prints as "0.5 B", never "500 mB" (millibytes).
         for (const auto &p : sub) {
             prefix = p.name;
             scale = p.scale;
@@ -117,36 +119,44 @@ parseScaled(const std::string &text, bool size_mode)
         fatal("cannot parse empty quantity string");
 
     // Parse the leading number.
-    const char *begin = s.c_str();
-    char *end = nullptr;
-    double value = std::strtod(begin, &end);
-    if (end == begin)
+    double value = 0.0;
+    std::string tail;
+    if (!parseDoublePrefix(s, &value, &tail))
         fatal("cannot parse quantity '" + text + "': no leading number");
 
-    std::string unit = trim(std::string(end));
+    std::string unit = trim(tail);
     if (unit.empty())
         return value;
 
     double scale = 1.0;
-    // Binary prefixes: Ki, Mi, Gi (case-sensitive 'i').
+    // Binary prefixes: Ki, Mi, Gi (case-sensitive 'i'; the prefix
+    // letter itself is case-insensitive, consistently for all three).
     if (unit.size() >= 2 && unit[1] == 'i') {
         switch (unit[0]) {
           case 'K': case 'k': scale = kKiB; break;
-          case 'M': scale = kMiB; break;
-          case 'G': scale = kGiB; break;
+          case 'M': case 'm': scale = kMiB; break;
+          case 'G': case 'g': scale = kGiB; break;
           default:
             fatal("unknown binary prefix in '" + text + "'");
         }
         unit = unit.substr(2);
     } else {
         switch (unit[0]) {
-          case 'k': case 'K':
-            scale = size_mode ? kKilo : kKilo;
-            unit = unit.substr(1);
-            break;
+          case 'k': case 'K': scale = kKilo; unit = unit.substr(1); break;
           case 'M': scale = kMega; unit = unit.substr(1); break;
           case 'G': scale = kGiga; unit = unit.substr(1); break;
           case 'T': scale = kTera; unit = unit.substr(1); break;
+          // Sub-unit prefixes exist only for rates (formatOpsRate
+          // emits them); milli-bytes stay rejected in size mode.
+          case 'm': case 'u': case 'n': case 'p':
+            if (!size_mode) {
+                scale = unit[0] == 'm'   ? 1e-3
+                        : unit[0] == 'u' ? 1e-6
+                        : unit[0] == 'n' ? 1e-9
+                                         : 1e-12;
+                unit = unit.substr(1);
+            }
+            break;
           default: break;
         }
     }

@@ -51,7 +51,9 @@ std::string formatOpsRate(double ops_per_sec, int precision = 4);
 std::string formatByteRate(double bytes_per_sec, int precision = 4);
 
 /**
- * Format a byte count with binary prefixes, e.g. "12 MiB".
+ * Format a byte count with binary prefixes, e.g. "12 MiB". Sub-unit
+ * magnitudes clamp at the base unit ("0.5 B"), since milli-bytes are
+ * not a thing.
  *
  * @param bytes     Size in bytes.
  * @param precision Significant digits after scaling (default 4).
@@ -65,8 +67,9 @@ std::string formatSeconds(double seconds, int precision = 4);
  * Parse a rate string such as "40 Gops/s", "24.4GB/s", "3e9", or
  * "920 MHz" (interpreted as events/s) into base units per second.
  *
- * Recognized decimal prefixes: k, K, M, G, T. The unit suffix after
- * the prefix is ignored apart from validation that it is one of
+ * Recognized decimal prefixes: k, K, M, G, T, plus the sub-unit
+ * prefixes m, u, n, p that formatOpsRate() emits. The unit suffix
+ * after the prefix is ignored apart from validation that it is one of
  * ops/s, flops/s, B/s, bytes/s, Hz, or empty.
  *
  * @param text Input text.
@@ -77,7 +80,8 @@ double parseRate(const std::string &text);
 
 /**
  * Parse a size string such as "12 MiB", "64KiB", "32 kB", or "4096"
- * into bytes. Binary prefixes (Ki/Mi/Gi) are 1024-based; decimal
+ * into bytes. Binary prefixes (Ki/Mi/Gi, prefix letter
+ * case-insensitive, 'i' case-sensitive) are 1024-based; decimal
  * prefixes (k/M/G) are 1000-based.
  *
  * @param text Input text.

@@ -12,6 +12,7 @@
 #include "core/gables.h"
 #include "soc/config.h"
 #include "util/logging.h"
+#include "util/parse.h"
 #include "util/rng.h"
 
 namespace gables {
@@ -110,6 +111,54 @@ TEST_P(ConfigFuzz, MutatedValidConfigStaysSane)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ConfigFuzz,
                          ::testing::Values(1u, 7u, 42u, 1337u));
+
+// A fixed corpus of malformed documents, one per historical silent-
+// parse bug. Unlike the random soups above, each of these used to
+// either crash nothing but *succeed* with a bogus value (null
+// end-pointer strtod), or produce a diagnostic without a location.
+// All must now raise a ConfigError that points at a line.
+TEST(ConfigMalformedCorpus, EveryDocumentRejectedWithLocation)
+{
+    const char *corpus[] = {
+        // Trailing garbage after numbers: strtod used to stop at the
+        // first bad character and silently keep the prefix.
+        "[soc]\nppeak = 1e9x\nbpeak = 1e9\n[ip A]\naccel = 1\n"
+        "bandwidth = 1e9\n",
+        "[soc]\nppeak = 1e9\nbpeak = 1e9\n[ip A]\naccel = 1.5.2\n"
+        "bandwidth = 1e9\n",
+        "[soc]\nppeak = 1e9\nbpeak = 1e9\n[ip A]\naccel = 1\n"
+        "bandwidth = 1e9\n[usecase u]\nA = 0.5abc @ 8\n",
+        "[soc]\nppeak = 1e9\nbpeak = 1e9\n[ip A]\naccel = 1\n"
+        "bandwidth = 1e9\n[usecase u]\nA = 1 @ 8 cows\n",
+        // Overflow: 1e999 used to become +inf without complaint.
+        "[soc]\nppeak = 1e999\nbpeak = 1e9\n[ip A]\naccel = 1\n"
+        "bandwidth = 1e9\n",
+        // Unknown unit / binary prefix in a rate.
+        "[soc]\nppeak = 40 Qops/s\nbpeak = 1e9\n[ip A]\naccel = 1\n"
+        "bandwidth = 1e9\n",
+        // Empty-value and bare-name headers.
+        "[soc]\nppeak =\nbpeak = 1e9\n",
+        "[soc]\nppeak = 1e9\nbpeak = 1e9\n[ip]\naccel = 1\n"
+        "bandwidth = 1e9\n",
+        "[soc]\nppeak = 1e9\nbpeak = 1e9\n[ip A]\naccel = 1\n"
+        "bandwidth = 1e9\n[usecase ]\n",
+        // Duplicate sections that used to shadow silently.
+        "[soc]\nppeak = 1e9\nbpeak = 1e9\n[ip A]\naccel = 1\n"
+        "bandwidth = 1e9\n[usecase u]\nA = 1 @ 1\n[usecase u]\n"
+        "A = 1 @ 2\n",
+    };
+    for (const char *doc : corpus) {
+        SCOPED_TRACE(doc);
+        try {
+            parseSocConfig(doc);
+            FAIL() << "expected ConfigError";
+        } catch (const ConfigError &err) {
+            EXPECT_GT(err.where().line, 0) << err.what();
+            EXPECT_NE(std::string(err.what()).find(':'),
+                      std::string::npos);
+        }
+    }
+}
 
 } // namespace
 } // namespace gables

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "util/arg_parser.h"
+#include "util/logging.h"
 
 namespace gables {
 namespace {
@@ -91,6 +92,65 @@ TEST(ArgParser, UnknownOptionFails)
     EXPECT_NE(err.str().find("unknown option"), std::string::npos);
 }
 
+TEST(ArgParser, UnknownOptionSuggestsClosestName)
+{
+    ArgParser p("t", "test");
+    p.addIntOption("jobs", "worker threads");
+    std::ostringstream err;
+    EXPECT_FALSE(parseWords(p, {"t", "--jbos", "4"}, err));
+    EXPECT_NE(err.str().find("did you mean '--jobs'?"),
+              std::string::npos);
+}
+
+// Regression: `--jobs=abc` used to silently become jobs=0 (= all
+// hardware threads) via strtol with a null end pointer. It must be a
+// loud parse failure instead.
+TEST(ArgParser, TypedIntOptionRejectsGarbage)
+{
+    ArgParser p("gables sweep", "test");
+    p.addIntOption("jobs", "worker threads");
+    std::ostringstream err;
+    EXPECT_FALSE(parseWords(p, {"t", "--jobs=abc"}, err));
+    EXPECT_NE(err.str().find("--jobs expects an integer"),
+              std::string::npos);
+    EXPECT_NE(err.str().find("abc"), std::string::npos);
+    EXPECT_FALSE(p.helpRequested());
+}
+
+TEST(ArgParser, TypedIntOptionRejectsTrailingGarbage)
+{
+    ArgParser p("t", "test");
+    p.addIntOption("n", "count");
+    std::ostringstream err;
+    EXPECT_FALSE(parseWords(p, {"t", "--n", "12x"}, err));
+    EXPECT_FALSE(parseWords(p, {"t", "--n", "1.5"}, err));
+}
+
+TEST(ArgParser, TypedDoubleOptionRejectsGarbage)
+{
+    ArgParser p("t", "test");
+    p.addDoubleOption("f", "fraction");
+    std::ostringstream err;
+    EXPECT_FALSE(parseWords(p, {"t", "--f", "half"}, err));
+    EXPECT_NE(err.str().find("--f expects a number"),
+              std::string::npos);
+    std::ostringstream err2;
+    EXPECT_TRUE(parseWords(p, {"t", "--f", "0.5"}, err2));
+    EXPECT_DOUBLE_EQ(p.getDouble("f", 0.0), 0.5);
+}
+
+// Untyped options still parse strictly at accessor time.
+TEST(ArgParser, UntypedGetterThrowsOnTrailingGarbage)
+{
+    ArgParser p("t", "test");
+    p.addOption("x", "stringly typed");
+    std::ostringstream err;
+    ASSERT_TRUE(parseWords(p, {"t", "--x", "30e9zzz"}, err));
+    EXPECT_THROW(p.getDouble("x", 0.0), FatalError);
+    EXPECT_THROW(p.getInt("x", 0), FatalError);
+    EXPECT_EQ(p.getString("x"), "30e9zzz");
+}
+
 TEST(ArgParser, MissingValueFails)
 {
     ArgParser p("t", "test");
@@ -114,8 +174,17 @@ TEST(ArgParser, HelpReturnsFalseAndPrintsUsage)
     p.addOption("x", "the x value", "1");
     std::ostringstream err;
     EXPECT_FALSE(parseWords(p, {"mytool", "--help"}, err));
+    EXPECT_TRUE(p.helpRequested());
     EXPECT_NE(err.str().find("usage: mytool"), std::string::npos);
     EXPECT_NE(err.str().find("default: 1"), std::string::npos);
+}
+
+TEST(ArgParser, HelpRequestedDistinguishesUsageErrors)
+{
+    ArgParser p("t", "test");
+    std::ostringstream err;
+    EXPECT_FALSE(parseWords(p, {"t", "--nope"}, err));
+    EXPECT_FALSE(p.helpRequested());
 }
 
 TEST(ArgParser, IntParsing)

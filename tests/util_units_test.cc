@@ -38,6 +38,16 @@ TEST(FormatBytes, BinaryPrefixes)
     EXPECT_EQ(formatBytes(512.0), "512 B");
 }
 
+// Regression: sub-unit values used to fall into the decimal sub-unit
+// table and print "500 mB" (millibytes). Binary formatting clamps at
+// the base unit instead.
+TEST(FormatBytes, SubUnitClampsAtBase)
+{
+    EXPECT_EQ(formatBytes(0.5), "0.5 B");
+    EXPECT_EQ(formatBytes(0.001), "0.001 B");
+    EXPECT_EQ(formatBytes(-0.5), "-0.5 B");
+}
+
 TEST(FormatSeconds, PicksPrefix)
 {
     EXPECT_EQ(formatSeconds(1.5), "1.5 s");
@@ -80,6 +90,15 @@ TEST(ParseSize, BinaryPrefixes)
     EXPECT_DOUBLE_EQ(parseSize("2GiB"), 2.0 * kGiB);
 }
 
+// Regression: "k" was accepted for "Ki" but "m"/"g" were rejected for
+// "Mi"/"Gi". The prefix letter is now case-insensitive for all three.
+TEST(ParseSize, BinaryPrefixLetterCaseInsensitive)
+{
+    EXPECT_DOUBLE_EQ(parseSize("64kiB"), 64.0 * kKiB);
+    EXPECT_DOUBLE_EQ(parseSize("12 miB"), 12.0 * kMiB);
+    EXPECT_DOUBLE_EQ(parseSize("2 giB"), 2.0 * kGiB);
+}
+
 TEST(ParseSize, DecimalPrefixes)
 {
     EXPECT_DOUBLE_EQ(parseSize("32 kB"), 32e3);
@@ -103,6 +122,34 @@ TEST(FormatParse, RoundTripRates)
         double parsed = parseRate(formatOpsRate(v, 12));
         EXPECT_NEAR(parsed, v, v * 1e-9);
     }
+}
+
+// Property: format -> parse is the identity (to formatting precision)
+// for rates and sizes across every prefix band, including the values
+// that straddle prefix boundaries.
+TEST(FormatParse, RoundTripRatesAcrossPrefixes)
+{
+    for (double v : {0.25, 1.0, 999.0, 1e3, 999e3, 1e6, 42.42e6, 1e9,
+                     7.77e9, 1e12, 3.25e12}) {
+        SCOPED_TRACE(v);
+        EXPECT_NEAR(parseRate(formatOpsRate(v, 12)), v, v * 1e-9);
+        EXPECT_NEAR(parseRate(formatByteRate(v, 12)), v, v * 1e-9);
+    }
+}
+
+TEST(FormatParse, RoundTripSizesAcrossPrefixes)
+{
+    for (double v : {0.5, 1.0, 1023.0, 1024.0, 4096.0, 1.5 * kMiB,
+                     kMiB, 3.0 * kGiB, 7.25 * kGiB}) {
+        SCOPED_TRACE(v);
+        EXPECT_NEAR(parseSize(formatBytes(v, 12)), v, v * 1e-9);
+    }
+}
+
+TEST(ParseRate, RejectsTrailingGarbageAfterUnit)
+{
+    EXPECT_THROW(parseRate("40 Gops/s extra"), FatalError);
+    EXPECT_THROW(parseRate("40 Qops/s"), FatalError);
 }
 
 } // namespace
