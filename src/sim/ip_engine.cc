@@ -60,6 +60,7 @@ IpEngine::start(const KernelJob &job,
     GABLES_ASSERT(chunksTotal_ > 0, "job has no chunks");
     chunksIssued_ = 0;
     chunksComputed_ = 0;
+    batchedChunks_ = 0;
     inFlight_ = 0;
     stats_ = EngineRunStats{};
     stats_.name = config_.name;
@@ -68,64 +69,143 @@ IpEngine::start(const KernelJob &job,
     if (local_ != nullptr)
         local_->setWorkingSet(job.workingSetBytes);
 
-    issueRequests();
+    if (batchingAllowed_)
+        runBatched();
+    else
+        issueRequests();
+}
+
+double
+IpEngine::issueOneChunk(double now, double &bytes, bool &was_miss)
+{
+    bytes = chunkBytes(chunksIssued_);
+    ++chunksIssued_;
+    ++inFlight_;
+
+    bool hit = local_ != nullptr && local_->nextIsHit();
+    was_miss = !hit;
+    if (issuedCount_ != nullptr) {
+        issuedCount_->add(1.0);
+        (hit ? hitRequests_ : missRequests_)->add(1.0);
+    }
+    double completion;
+    if (hit) {
+        completion = local_->resource().acquire(now, bytes);
+    } else {
+        // Misses traverse the private link then the shared path.
+        completion = link_->acquire(now, bytes);
+        completion = path_.request(completion, bytes);
+        if (job_.coordinationTime > 0.0) {
+            // The coordinator must service the request's completion
+            // interrupt before the data is usable.
+            double coord = coordinator_->acquireService(
+                now, job_.coordinationTime);
+            completion = std::max(completion, coord);
+            if (coordInterrupts_ != nullptr)
+                coordInterrupts_->add(1.0);
+        }
+    }
+    return completion;
 }
 
 void
 IpEngine::issueRequests()
 {
+    // No events fire while this loop runs, so now() is invariant.
+    double now = eq_->now();
     while (running_ && inFlight_ < config_.maxOutstanding &&
            chunksIssued_ < chunksTotal_) {
-        double bytes = chunkBytes(chunksIssued_);
-        ++chunksIssued_;
-        ++inFlight_;
-
-        double now = eq_->now();
-        bool hit = local_ != nullptr && local_->nextIsHit();
-        if (issuedCount_ != nullptr) {
-            issuedCount_->add(1.0);
-            (hit ? hitRequests_ : missRequests_)->add(1.0);
-        }
-        double completion;
-        if (hit) {
-            completion = local_->resource().acquire(now, bytes);
-        } else {
-            // Misses traverse the private link then the shared path.
-            completion = link_->acquire(now, bytes);
-            completion = path_.request(completion, bytes);
-            if (job_.coordinationTime > 0.0) {
-                // The coordinator must service the request's
-                // completion interrupt before the data is usable.
-                double coord = coordinator_->acquireService(
-                    now, job_.coordinationTime);
-                completion = std::max(completion, coord);
-                if (coordInterrupts_ != nullptr)
-                    coordInterrupts_->add(1.0);
-            }
-        }
-        eq_->schedule(completion, [this, bytes, hit] {
-            onDataArrived(bytes, !hit);
-        });
+        double bytes;
+        bool was_miss;
+        double completion = issueOneChunk(now, bytes, was_miss);
+        eq_->scheduleDataArrived(completion, this, bytes, was_miss);
     }
 }
 
 void
-IpEngine::onDataArrived(double chunk_bytes, bool was_miss)
+IpEngine::runBatched()
 {
-    GABLES_ASSERT(inFlight_ > 0, "data arrival with nothing in flight");
-    --inFlight_;
-    stats_.bytes += chunk_bytes;
-    if (was_miss)
-        stats_.missBytes += chunk_bytes;
+    // Replay the event-driven run in a tight loop. Because this
+    // engine is the sole requester (see setBatchingAllowed), the only
+    // events the queue would process are this engine's own arrivals
+    // and compute completions, so their firing order is fully known:
+    // arrivals in (completion, issue-index) order — a min-heap over
+    // in-flight chunks — and compute completions in arrival order
+    // (the compute resource is FIFO, so completion times are
+    // monotone and their seqs follow booking order). Compute-done
+    // events touch no resources, so folding their bookkeeping into
+    // arrival processing leaves every acquire call, stats
+    // accumulation, telemetry bump, and trace record in the exact
+    // order — and therefore bit pattern — of the unbatched run.
+    //
+    // Min-heap order: earliest (completion, issue index) first, the
+    // order the queue would fire these arrivals (arrival seq order
+    // equals issue order).
+    auto later_arrival = [](const BatchArrival &a,
+                            const BatchArrival &b) {
+        if (a.when != b.when)
+            return a.when > b.when;
+        return a.idx > b.idx;
+    };
+    batchHeap_.clear();
+    double now = stats_.startTime;
+    while (inFlight_ < config_.maxOutstanding &&
+           chunksIssued_ < chunksTotal_) {
+        uint64_t idx = chunksIssued_;
+        double bytes;
+        bool was_miss;
+        double completion = issueOneChunk(now, bytes, was_miss);
+        batchHeap_.push_back({completion, idx, bytes, was_miss});
+        std::push_heap(batchHeap_.begin(), batchHeap_.end(),
+                       later_arrival);
+    }
 
-    double ops = chunk_bytes * job_.opsPerByte;
-    double done_at = compute_.acquire(eq_->now(), ops);
-    eq_->schedule(done_at, [this, ops] {
+    double last_done = now;
+    while (!batchHeap_.empty()) {
+        std::pop_heap(batchHeap_.begin(), batchHeap_.end(),
+                      later_arrival);
+        BatchArrival arr = batchHeap_.back();
+        batchHeap_.pop_back();
+
+        --inFlight_;
+        stats_.bytes += arr.bytes;
+        if (arr.miss)
+            stats_.missBytes += arr.bytes;
+        double ops = arr.bytes * job_.opsPerByte;
+        double done_at = compute_.acquire(arr.when, ops);
         stats_.ops += ops;
-        onChunkComputed();
-    });
+        ++chunksComputed_;
+        if (computedCount_ != nullptr)
+            computedCount_->add(1.0);
+        last_done = done_at;
 
-    issueRequests();
+        while (inFlight_ < config_.maxOutstanding &&
+               chunksIssued_ < chunksTotal_) {
+            uint64_t idx = chunksIssued_;
+            double bytes;
+            bool was_miss;
+            double completion =
+                issueOneChunk(arr.when, bytes, was_miss);
+            batchHeap_.push_back({completion, idx, bytes, was_miss});
+            std::push_heap(batchHeap_.begin(), batchHeap_.end(),
+                           later_arrival);
+        }
+    }
+    GABLES_ASSERT(chunksComputed_ == chunksTotal_,
+                  "batched replay lost chunks");
+    batchedChunks_ = chunksTotal_;
+    eq_->scheduleBatchDone(last_done, this);
+}
+
+void
+IpEngine::onBatchDone()
+{
+    running_ = false;
+    stats_.endTime = eq_->now();
+    GABLES_ASSERT(stats_.endTime > stats_.startTime,
+                  "zero-duration engine run");
+    if (onDone_)
+        onDone_(stats_);
 }
 
 void
@@ -153,27 +233,13 @@ IpEngine::attachTelemetry(telemetry::StatsRegistry *registry)
 }
 
 void
-IpEngine::onChunkComputed()
-{
-    ++chunksComputed_;
-    if (computedCount_ != nullptr)
-        computedCount_->add(1.0);
-    if (chunksComputed_ == chunksTotal_) {
-        running_ = false;
-        stats_.endTime = eq_->now();
-        GABLES_ASSERT(stats_.endTime > stats_.startTime,
-                      "zero-duration engine run");
-        if (onDone_)
-            onDone_(stats_);
-    }
-}
-
-void
 IpEngine::reset()
 {
     GABLES_ASSERT(!running_, "cannot reset a running engine");
     compute_.reset();
     chunksTotal_ = chunksIssued_ = chunksComputed_ = 0;
+    batchedChunks_ = 0;
+    batchingAllowed_ = false;
     inFlight_ = 0;
     stats_ = EngineRunStats{};
 }

@@ -11,6 +11,14 @@
  * (Section II-B): per-request coordination routed through another
  * IP — typically the CPU — which charges a fixed interrupt-handling
  * service time on the coordinator for every off-IP request.
+ *
+ * Hot path: chunk completions are typed events dispatched by the
+ * EventQueue switch (no closures). When the SoC marks the engine as
+ * the sole active requester on every hop of its path, start() books
+ * the whole job in one analytic batch — the same per-chunk acquire
+ * arithmetic replayed in a tight loop, so results stay bit-identical
+ * — and schedules a single completion event instead of two events
+ * per chunk (DESIGN.md section 10).
  */
 
 #ifndef GABLES_SIM_IP_ENGINE_H
@@ -19,15 +27,16 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "sim/event_queue.h"
 #include "sim/memory_system.h"
 #include "sim/resource.h"
+#include "telemetry/stats.h"
 
 namespace gables {
 
 namespace telemetry {
-class Counter;
 class StatsRegistry;
 } // namespace telemetry
 
@@ -91,8 +100,8 @@ struct EngineRunStats {
 };
 
 /**
- * A simulated IP engine. Owned by SimSoc; not copyable (registered
- * callbacks capture `this`).
+ * A simulated IP engine. Owned by SimSoc; not copyable (scheduled
+ * events reference `this`).
  */
 class IpEngine
 {
@@ -140,6 +149,26 @@ class IpEngine
     bool busy() const { return running_; }
 
     /**
+     * Permit analytic chunk batching for subsequent start() calls.
+     * Legality is the caller's contract: between this engine's
+     * start() and its completion, no other requester may touch any
+     * hop of its path (link, fabrics, DRAM), its local memory, or
+     * its coordinator — SimSoc::run grants this exactly when the
+     * engine runs the only job of the run. Batched runs replay the
+     * identical per-chunk booking arithmetic without per-chunk
+     * events, so all stats, telemetry, and traces are bit-identical;
+     * only the event count changes. Default off.
+     */
+    void setBatchingAllowed(bool allowed)
+    {
+        batchingAllowed_ = allowed;
+    }
+
+    /** @return Chunks booked analytically in the latest run (0 when
+     * the run was event-driven). */
+    uint64_t batchedChunks() const { return batchedChunks_; }
+
+    /**
      * Attach a telemetry registry: registers per-engine issue
      * counters ("<name>.chunks_issued", "<name>.chunks_computed"),
      * hit/miss request counters, and a coordination-interrupt
@@ -152,9 +181,16 @@ class IpEngine
     void reset();
 
   private:
+    friend class EventQueue; // dispatches the typed events below
+
     void issueRequests();
-    void onDataArrived(double chunk_bytes, bool was_miss);
-    void onChunkComputed();
+    // The two per-chunk handlers are defined inline below the class:
+    // the EventQueue dispatch switch folds them into its drain loop.
+    inline void onDataArrived(double chunk_bytes, bool was_miss);
+    inline void onChunkComputed(double ops);
+    void onBatchDone();
+    void runBatched();
+    double issueOneChunk(double now, double &bytes, bool &was_miss);
     double chunkBytes(uint64_t index) const;
 
     IpEngineConfig config_;
@@ -167,13 +203,25 @@ class IpEngine
 
     // Per-run state.
     bool running_ = false;
+    bool batchingAllowed_ = false;
     KernelJob job_;
     std::function<void(const EngineRunStats &)> onDone_;
     uint64_t chunksTotal_ = 0;
     uint64_t chunksIssued_ = 0;
     uint64_t chunksComputed_ = 0;
+    uint64_t batchedChunks_ = 0;
     int inFlight_ = 0;
     EngineRunStats stats_;
+
+    /** One in-flight arrival in a batched replay, ordered by
+     * (when, issue order) exactly as the event queue would fire. */
+    struct BatchArrival {
+        double when;
+        uint64_t idx;
+        double bytes;
+        bool miss;
+    };
+    std::vector<BatchArrival> batchHeap_; // reused across runs
 
     // Telemetry bindings (all null when detached).
     telemetry::Counter *issuedCount_ = nullptr;
@@ -182,6 +230,39 @@ class IpEngine
     telemetry::Counter *missRequests_ = nullptr;
     telemetry::Counter *coordInterrupts_ = nullptr;
 };
+
+inline void
+IpEngine::onDataArrived(double chunk_bytes, bool was_miss)
+{
+    GABLES_ASSERT(inFlight_ > 0, "data arrival with nothing in flight");
+    --inFlight_;
+    stats_.bytes += chunk_bytes;
+    if (was_miss)
+        stats_.missBytes += chunk_bytes;
+
+    double ops = chunk_bytes * job_.opsPerByte;
+    double done_at = compute_.acquire(eq_->now(), ops);
+    eq_->scheduleChunkComputed(done_at, this, ops);
+
+    issueRequests();
+}
+
+inline void
+IpEngine::onChunkComputed(double ops)
+{
+    stats_.ops += ops;
+    ++chunksComputed_;
+    if (computedCount_ != nullptr)
+        computedCount_->add(1.0);
+    if (chunksComputed_ == chunksTotal_) {
+        running_ = false;
+        stats_.endTime = eq_->now();
+        GABLES_ASSERT(stats_.endTime > stats_.startTime,
+                      "zero-duration engine run");
+        if (onDone_)
+            onDone_(stats_);
+    }
+}
 
 } // namespace sim
 } // namespace gables

@@ -16,16 +16,6 @@ MemoryPath::addHop(BandwidthResource *hop)
 }
 
 double
-MemoryPath::request(double arrival, double bytes) const
-{
-    GABLES_ASSERT(!hops_.empty(), "memory path has no hops");
-    double t = arrival;
-    for (BandwidthResource *hop : hops_)
-        t = hop->acquire(t, bytes);
-    return t;
-}
-
-double
 MemoryPath::unloadedLatency() const
 {
     double lat = 0.0;

@@ -45,11 +45,19 @@ class MemoryPath
 
     /**
      * Book a transfer of @p bytes arriving at @p arrival through all
-     * hops in order.
+     * hops in order. Inline so the per-hop acquire() bookings fold
+     * into the caller's chunk-issue loop.
      *
      * @return Completion time at the last hop.
      */
-    double request(double arrival, double bytes) const;
+    double request(double arrival, double bytes) const
+    {
+        GABLES_ASSERT(!hops_.empty(), "memory path has no hops");
+        double t = arrival;
+        for (BandwidthResource *hop : hops_)
+            t = hop->acquire(t, bytes);
+        return t;
+    }
 
     /** @return Sum of per-hop latencies (the unloaded round trip). */
     double unloadedLatency() const;

@@ -20,11 +20,9 @@ BandwidthResource::BandwidthResource(std::string name, double bandwidth,
 }
 
 double
-BandwidthResource::acquire(double arrival, double bytes)
+BandwidthResource::acquireInstrumented(double arrival, double start,
+                                       double service, double bytes)
 {
-    GABLES_ASSERT(bytes >= 0.0, "negative transfer size");
-    double start = std::max(arrival, busyUntil_);
-    double service = bytes / bandwidth_;
     if (tracer_ != nullptr)
         tracer_->record(name_, start, service);
     busyUntil_ = start + service;
@@ -36,10 +34,9 @@ BandwidthResource::acquire(double arrival, double bytes)
 }
 
 double
-BandwidthResource::acquireService(double arrival, double service_seconds)
+BandwidthResource::serviceInstrumented(double arrival, double start,
+                                       double service_seconds)
 {
-    GABLES_ASSERT(service_seconds >= 0.0, "negative service time");
-    double start = std::max(arrival, busyUntil_);
     if (tracer_ != nullptr)
         tracer_->record(name_, start, service_seconds);
     busyUntil_ = start + service_seconds;
@@ -80,6 +77,7 @@ void
 BandwidthResource::attachTelemetry(telemetry::StatsRegistry *registry)
 {
     registry_ = registry;
+    instrumented_ = tracer_ != nullptr || registry_ != nullptr;
     serviceLog_.clear();
     inService_.clear();
     if (registry == nullptr) {
@@ -102,6 +100,13 @@ BandwidthResource::attachTelemetry(telemetry::StatsRegistry *registry)
     requestCount_ =
         &registry->counter(name_ + ".requests", "requests served");
     byteCount_ = &registry->counter(name_ + ".bytes", "bytes served");
+}
+
+void
+BandwidthResource::reserveLog(size_t expected_entries)
+{
+    if (registry_ != nullptr)
+        serviceLog_.reserve(expected_entries);
 }
 
 double

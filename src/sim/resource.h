@@ -11,10 +11,13 @@
 #ifndef GABLES_SIM_RESOURCE_H
 #define GABLES_SIM_RESOURCE_H
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <string>
 #include <vector>
+
+#include "util/logging.h"
 
 namespace gables {
 
@@ -64,9 +67,38 @@ class BandwidthResource
     /**
      * Book a transfer of @p bytes arriving at @p arrival.
      *
+     * Defined inline: the uninstrumented booking (no tracer, no
+     * telemetry) is the simulator's innermost loop, and the
+     * instrumented path repeats the exact same arithmetic so results
+     * are bit-identical either way.
+     *
      * @return Completion time (seconds).
      */
-    double acquire(double arrival, double bytes);
+    double acquire(double arrival, double bytes)
+    {
+        GABLES_ASSERT(bytes >= 0.0, "negative transfer size");
+        double start = std::max(arrival, busyUntil_);
+        // Chunked streams divide the same request size by the same
+        // (immutable) bandwidth on every booking; memoizing the
+        // quotient takes the divide off the booking dependency chain.
+        // IEEE division is deterministic, so the cached quotient is
+        // bit-identical to recomputing it.
+        double service;
+        if (bytes == memoBytes_) {
+            service = memoService_;
+        } else {
+            service = bytes / bandwidth_;
+            memoBytes_ = bytes;
+            memoService_ = service;
+        }
+        if (instrumented_)
+            return acquireInstrumented(arrival, start, service, bytes);
+        busyUntil_ = start + service;
+        busyTime_ += service;
+        bytesServed_ += bytes;
+        ++requests_;
+        return busyUntil_ + latency_;
+    }
 
     /**
      * Book a fixed service time (e.g. an interrupt-handling cost)
@@ -74,7 +106,17 @@ class BandwidthResource
      *
      * @return Completion time (seconds).
      */
-    double acquireService(double arrival, double service_seconds);
+    double acquireService(double arrival, double service_seconds)
+    {
+        GABLES_ASSERT(service_seconds >= 0.0, "negative service time");
+        double start = std::max(arrival, busyUntil_);
+        if (instrumented_)
+            return serviceInstrumented(arrival, start, service_seconds);
+        busyUntil_ = start + service_seconds;
+        busyTime_ += service_seconds;
+        ++requests_;
+        return busyUntil_ + latency_;
+    }
 
     /** @return Time the server next becomes free. */
     double busyUntil() const { return busyUntil_; }
@@ -102,7 +144,11 @@ class BandwidthResource
      * counter track samples the queue depth at each arrival. Pass
      * nullptr to detach.
      */
-    void setTracer(TraceRecorder *tracer) { tracer_ = tracer; }
+    void setTracer(TraceRecorder *tracer)
+    {
+        tracer_ = tracer;
+        instrumented_ = tracer_ != nullptr || registry_ != nullptr;
+    }
 
     /**
      * One booked service interval, kept only while a telemetry
@@ -132,13 +178,41 @@ class BandwidthResource
         return serviceLog_;
     }
 
+    /**
+     * Pre-size the service-interval log for an expected number of
+     * bookings (no-op when telemetry is detached — the log stays
+     * empty then). Avoids reallocation churn mid-run; see
+     * docs/OBSERVABILITY.md for the log's memory model.
+     */
+    void reserveLog(size_t expected_entries);
+
+    /** @return Bytes of memory held by the service-interval log
+     * (capacity, not size — reserved space counts). */
+    size_t serviceLogCapacityBytes() const
+    {
+        return serviceLog_.capacity() * sizeof(ServiceInterval);
+    }
+
   private:
+    /** Slow path of acquire(): books with the trace record and
+     * telemetry observation in the original order. */
+    double acquireInstrumented(double arrival, double start,
+                               double service, double bytes);
+    /** Slow path of acquireService(). */
+    double serviceInstrumented(double arrival, double start,
+                               double service_seconds);
     void observe(double arrival, double start, double service,
                  double bytes);
 
     std::string name_;
     double bandwidth_;
     double latency_;
+    // True iff a tracer or registry is attached; one flag so the
+    // inline acquire fast path tests a single branch.
+    bool instrumented_ = false;
+    // Last transfer size and its service-time quotient (acquire()).
+    double memoBytes_ = -1.0;
+    double memoService_ = 0.0;
     TraceRecorder *tracer_ = nullptr;
     double busyUntil_ = 0.0;
     double bytesServed_ = 0.0;

@@ -23,6 +23,9 @@ SocRunStats::aggregateOpsRate() const
 const EngineRunStats &
 SocRunStats::engine(const std::string &name) const
 {
+    auto it = engineIndex.find(name);
+    if (it != engineIndex.end() && it->second < engines.size())
+        return engines[it->second];
     for (const EngineRunStats &e : engines) {
         if (e.name == name)
             return e;
@@ -122,6 +125,7 @@ SimSoc::addEngine(const IpEngineConfig &config,
             local->attachTelemetry(registry_);
     }
     engineNames_.push_back(config.name);
+    engineIndex_[config.name] = engines_.size() - 1;
     coordinators_.push_back(coordinator);
     return engines_.back().get();
 }
@@ -129,12 +133,11 @@ SimSoc::addEngine(const IpEngineConfig &config,
 IpEngine *
 SimSoc::engine(const std::string &engine_name)
 {
-    for (size_t i = 0; i < engineNames_.size(); ++i) {
-        if (engineNames_[i] == engine_name)
-            return engines_[i].get();
-    }
-    fatal("SimSoc '" + name_ + "': no engine named '" + engine_name +
-          "'");
+    auto it = engineIndex_.find(engine_name);
+    if (it == engineIndex_.end())
+        fatal("SimSoc '" + name_ + "': no engine named '" +
+              engine_name + "'");
+    return engines_[it->second].get();
 }
 
 void
@@ -204,16 +207,45 @@ SimSoc::run(const std::vector<JobSubmission> &jobs, int epochs)
         fatal("SimSoc::run: epoch sampling needs an attached "
               "telemetry registry (attachTelemetry)");
     resetAll();
-    debug("SimSoc::run: " + name_ + ", " +
-          std::to_string(jobs.size()) + " job(s), " +
-          std::to_string(epochs) + " epoch(s)");
+    GABLES_DLOG("SimSoc::run: " + name_ + ", " +
+                std::to_string(jobs.size()) + " job(s), " +
+                std::to_string(epochs) + " epoch(s)");
 
     SocRunStats stats;
     stats.engines.resize(jobs.size());
     size_t remaining = jobs.size();
 
+    if (registry_ != nullptr) {
+        // Pre-size service logs for the expected booking volume so
+        // instrumented runs don't reallocate mid-run. Every resource
+        // sees at most one booking per chunk (plus coordination
+        // interrupts, also one per chunk).
+        double chunks = 0.0;
+        for (const JobSubmission &s : jobs) {
+            const IpEngineConfig &cfg =
+                engine(s.engineName)->config();
+            chunks += std::ceil(s.job.totalBytes / cfg.requestBytes);
+        }
+        size_t expect = static_cast<size_t>(
+            std::min(chunks, 65536.0));
+        if (dram_)
+            dram_->reserveLog(expect);
+        for (auto &f : fabrics_)
+            f->reserveLog(expect);
+        for (auto &l : links_)
+            l->reserveLog(expect);
+        for (auto &m : locals_)
+            m->resource().reserveLog(expect);
+        for (auto &e : engines_)
+            e->computeResourcePtr()->reserveLog(expect);
+    }
+
+    // With a single job the engine is the sole requester on every
+    // hop it can touch, so its chunks may be booked analytically.
+    const bool batch = chunkBatching_ && jobs.size() == 1;
     for (size_t j = 0; j < jobs.size(); ++j) {
         IpEngine *eng = engine(jobs[j].engineName);
+        eng->setBatchingAllowed(batch);
         eng->start(jobs[j].job,
                    [&stats, j, &remaining](const EngineRunStats &s) {
                        stats.engines[j] = s;
@@ -222,7 +254,11 @@ SimSoc::run(const std::vector<JobSubmission> &jobs, int epochs)
     }
     stats.duration = eq_.run();
     GABLES_ASSERT(remaining == 0, "a job never completed");
+    for (size_t j = 0; j < jobs.size(); ++j)
+        stats.engineIndex[stats.engines[j].name] = j;
 
+    stats.resources.reserve((dram_ ? 1 : 0) + fabrics_.size() +
+                            links_.size() + engines_.size());
     auto snapshot = [&](const BandwidthResource &r) {
         stats.resources.push_back(
             ResourceStats{r.name(), r.bytesServed(), r.busyTime(),
@@ -238,6 +274,43 @@ SimSoc::run(const std::vector<JobSubmission> &jobs, int epochs)
         snapshot(*l);
     for (const auto &e : engines_)
         snapshot(e->computeResource());
+
+    if (registry_ != nullptr) {
+        uint64_t batched = 0;
+        for (const auto &e : engines_)
+            batched += e->batchedChunks();
+        registry_
+            ->counter("sim.events_executed",
+                      "events dispatched by the queue this run")
+            .add(static_cast<double>(eq_.eventsExecuted()));
+        registry_
+            ->counter("sim.events_pooled",
+                      "scheduled events whose storage was recycled "
+                      "rather than allocated")
+            .add(static_cast<double>(eq_.eventsPooled()));
+        registry_
+            ->counter("sim.batched_chunks",
+                      "chunks booked analytically instead of via "
+                      "per-chunk events")
+            .add(static_cast<double>(batched));
+        size_t log_bytes = 0;
+        if (dram_)
+            log_bytes += dram_->serviceLogCapacityBytes();
+        for (const auto &f : fabrics_)
+            log_bytes += f->serviceLogCapacityBytes();
+        for (const auto &l : links_)
+            log_bytes += l->serviceLogCapacityBytes();
+        for (const auto &m : locals_)
+            log_bytes += m->resource().serviceLogCapacityBytes();
+        for (const auto &e : engines_)
+            log_bytes += e->computeResource().serviceLogCapacityBytes();
+        registry_
+            ->gauge("telemetry.service_log_bytes",
+                    "memory held by per-resource service-interval "
+                    "logs (capacity; grows with run length — see "
+                    "docs/OBSERVABILITY.md)")
+            .set(static_cast<double>(log_bytes));
+    }
 
     if (epochs > 0)
         sampleEpochSeries(stats, epochs);

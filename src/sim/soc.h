@@ -12,6 +12,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/event_queue.h"
@@ -46,6 +47,10 @@ struct SocRunStats {
     std::vector<ResourceStats> resources;
     /** Total bytes served by the DRAM controller. */
     double dramBytes = 0.0;
+    /** Name → index into engines, filled by SimSoc::run so engine()
+     * is a map lookup; hand-built stats may leave it empty (engine()
+     * then falls back to a linear scan). */
+    std::map<std::string, size_t> engineIndex;
 
     /** @return Aggregate ops/s across all engines over the run. */
     double aggregateOpsRate() const;
@@ -156,6 +161,18 @@ class SimSoc
     EventQueue &eventQueue() { return eq_; }
 
     /**
+     * Enable or disable analytic chunk batching (default enabled).
+     * When a run has exactly one job, the engine is the sole
+     * requester on every resource it touches, so run() lets it book
+     * all chunks in one pass instead of two events per chunk —
+     * results are bit-identical either way (see
+     * IpEngine::setBatchingAllowed); only event counts differ.
+     * Disable to force the fully event-driven path, e.g. to
+     * cross-check the batched one.
+     */
+    void setChunkBatching(bool enabled) { chunkBatching_ = enabled; }
+
+    /**
      * Attach a trace recorder to every resource of the SoC (DRAM,
      * fabrics, links, local memories, engine compute units); also
      * applied to engines added later. Pass nullptr to detach.
@@ -192,6 +209,9 @@ class SimSoc
     std::vector<std::unique_ptr<LocalMemory>> locals_;
     std::vector<std::unique_ptr<IpEngine>> engines_;
     std::vector<std::string> engineNames_;
+    // Name → index into engines_, maintained by addEngine.
+    std::unordered_map<std::string, size_t> engineIndex_;
+    bool chunkBatching_ = true;
     // Per-engine coordination-target compute resources (parallel to
     // engines_; nullptr where none). The coordinator's own compute
     // resource is shared, so interrupt handling steals its cycles.

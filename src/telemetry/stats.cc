@@ -151,6 +151,15 @@ StatsRegistry::counter(const std::string &name, const std::string &desc)
     return *e.counter;
 }
 
+Gauge &
+StatsRegistry::gauge(const std::string &name, const std::string &desc)
+{
+    Entry &e = require(name, desc, Kind::Gauge);
+    if (!e.gauge)
+        e.gauge = std::make_unique<Gauge>();
+    return *e.gauge;
+}
+
 Distribution &
 StatsRegistry::distribution(const std::string &name,
                             const std::string &desc)
@@ -188,6 +197,13 @@ StatsRegistry::findCounter(const std::string &name) const
     return e ? e->counter.get() : nullptr;
 }
 
+const Gauge *
+StatsRegistry::findGauge(const std::string &name) const
+{
+    const Entry *e = find(name);
+    return e ? e->gauge.get() : nullptr;
+}
+
 const Distribution *
 StatsRegistry::findDistribution(const std::string &name) const
 {
@@ -221,6 +237,8 @@ StatsRegistry::resetValues()
     for (auto &e : entries_) {
         if (e->counter)
             e->counter->reset();
+        if (e->gauge)
+            e->gauge->reset();
         if (e->distribution)
             e->distribution->reset();
         if (e->histogram)
@@ -243,6 +261,10 @@ StatsRegistry::writeJson(JsonWriter &json) const
           case Kind::Counter:
             json.kv("kind", "counter");
             json.kv("value", e->counter->value());
+            break;
+          case Kind::Gauge:
+            json.kv("kind", "gauge");
+            json.kv("value", e->gauge->value());
             break;
           case Kind::Distribution: {
             const Distribution &d = *e->distribution;

@@ -45,6 +45,27 @@ class Counter
 };
 
 /**
+ * A named last-value stat: unlike a Counter it overwrites rather
+ * than accumulates — for point-in-time quantities like bytes of
+ * memory currently held by an observability buffer.
+ */
+class Gauge
+{
+  public:
+    /** Overwrite the value. */
+    void set(double v) { value_ = v; }
+
+    /** @return Last value set (0 after reset). */
+    double value() const { return value_; }
+
+    /** Zero the gauge. */
+    void reset() { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
  * An accumulating distribution: count, sum, min, max, mean, and
  * standard deviation of every sample, in O(1) memory.
  */
@@ -164,6 +185,10 @@ class StatsRegistry
     Counter &counter(const std::string &name,
                      const std::string &desc = "");
 
+    /** Register (or fetch) a gauge. */
+    Gauge &gauge(const std::string &name,
+                 const std::string &desc = "");
+
     /** Register (or fetch) a distribution. */
     Distribution &distribution(const std::string &name,
                                const std::string &desc = "");
@@ -182,6 +207,7 @@ class StatsRegistry
      * another kind). */
     /** @{ */
     const Counter *findCounter(const std::string &name) const;
+    const Gauge *findGauge(const std::string &name) const;
     const Distribution *findDistribution(const std::string &name) const;
     const Histogram *findHistogram(const std::string &name) const;
     const TimeSeries *findTimeSeries(const std::string &name) const;
@@ -204,13 +230,14 @@ class StatsRegistry
     void writeJson(JsonWriter &json) const;
 
   private:
-    enum class Kind { Counter, Distribution, Histogram, TimeSeries };
+    enum class Kind { Counter, Gauge, Distribution, Histogram, TimeSeries };
 
     struct Entry {
         std::string name;
         std::string desc;
         Kind kind;
         std::unique_ptr<Counter> counter;
+        std::unique_ptr<class Gauge> gauge;
         std::unique_ptr<Distribution> distribution;
         std::unique_ptr<Histogram> histogram;
         std::unique_ptr<TimeSeries> timeSeries;

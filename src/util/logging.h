@@ -101,8 +101,26 @@ void logError(const std::string &msg);
 [[noreturn]] void panic(const std::string &msg);
 
 /**
- * Assert an internal invariant; on failure, panic with location info.
+ * Emit a debug message, building the message string only when the
+ * Debug level is active. Use on hot paths where composing the message
+ * (string concatenation, std::to_string) would otherwise run on every
+ * call just to be discarded by debug()'s level check.
  */
+#define GABLES_DLOG(expr)                                                 \
+    do {                                                                  \
+        if (::gables::logLevel() == ::gables::LogLevel::Debug)            \
+            ::gables::debug(expr);                                        \
+    } while (0)
+
+/**
+ * Assert an internal invariant; on failure, panic with location info.
+ * Like the standard assert(), the check compiles away in NDEBUG
+ * (optimized) builds — several sit on the simulator's innermost
+ * loops. Default and test builds keep every check active.
+ */
+#ifdef NDEBUG
+#define GABLES_ASSERT(cond, msg) ((void)0)
+#else
 #define GABLES_ASSERT(cond, msg)                                          \
     do {                                                                  \
         if (!(cond)) {                                                    \
@@ -112,6 +130,7 @@ void logError(const std::string &msg);
             ::gables::panic(oss_.str());                                  \
         }                                                                 \
     } while (0)
+#endif
 
 } // namespace gables
 

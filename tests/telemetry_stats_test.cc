@@ -179,6 +179,38 @@ TEST(StatsRegistry, JsonDumpRoundTrips)
     EXPECT_DOUBLE_EQ(root.at("t").at("v").at(0).asNumber(), 0.5);
 }
 
+TEST(StatsRegistry, GaugeOverwritesInsteadOfAccumulating)
+{
+    StatsRegistry reg;
+    Gauge &g = reg.gauge("mem.bytes", "bytes held");
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+    g.set(100.0);
+    g.set(42.0);
+    EXPECT_DOUBLE_EQ(g.value(), 42.0);
+
+    // Re-registration returns the same gauge; resetValues zeroes it.
+    EXPECT_DOUBLE_EQ(reg.gauge("mem.bytes").value(), 42.0);
+    ASSERT_NE(reg.findGauge("mem.bytes"), nullptr);
+    EXPECT_EQ(reg.findGauge("absent"), nullptr);
+    reg.resetValues();
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+
+    // A gauge name cannot be re-registered as another kind.
+    EXPECT_THROW(reg.counter("mem.bytes"), FatalError);
+}
+
+TEST(StatsRegistry, GaugeJsonDump)
+{
+    StatsRegistry reg;
+    reg.gauge("g", "a gauge").set(7.5);
+    std::ostringstream out;
+    JsonWriter json(out, false);
+    reg.writeJson(json);
+    JsonValue root = parseJson(out.str());
+    EXPECT_EQ(root.at("g").at("kind").asString(), "gauge");
+    EXPECT_DOUBLE_EQ(root.at("g").at("value").asNumber(), 7.5);
+}
+
 } // namespace
 } // namespace telemetry
 } // namespace gables

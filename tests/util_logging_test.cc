@@ -93,6 +93,39 @@ TEST(Logging, ParseLogLevelRejectsUnknownNames)
     EXPECT_THROW(parseLogLevel(""), FatalError);
 }
 
+TEST(Logging, DlogSkipsMessageConstructionWhenDisabled)
+{
+    LogCapture cap;
+    setLogLevel(LogLevel::Info);
+    int evaluations = 0;
+    auto expensive = [&evaluations] {
+        ++evaluations;
+        return std::string("pricey");
+    };
+    GABLES_DLOG(expensive());
+    EXPECT_EQ(evaluations, 0) << "argument must not be evaluated "
+                                 "below Debug level";
+    EXPECT_EQ(cap.text(), "");
+
+    setLogLevel(LogLevel::Debug);
+    GABLES_DLOG(expensive());
+    EXPECT_EQ(evaluations, 1);
+    EXPECT_EQ(cap.text(), "debug: pricey\n");
+}
+
+TEST(Logging, DlogComposesWithControlFlow)
+{
+    // The macro must behave as a single statement (usable un-braced
+    // in an if/else).
+    LogCapture cap;
+    setLogLevel(LogLevel::Debug);
+    if (true)
+        GABLES_DLOG("then-branch");
+    else
+        GABLES_DLOG("else-branch");
+    EXPECT_EQ(cap.text(), "debug: then-branch\n");
+}
+
 TEST(Logging, LevelNamesRoundTrip)
 {
     EXPECT_STREQ(logLevelName(LogLevel::Debug), "debug");
