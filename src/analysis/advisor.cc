@@ -6,6 +6,7 @@
 
 #include "analysis/balance.h"
 #include "analysis/optimal_split.h"
+#include "core/evaluator.h"
 #include "util/logging.h"
 #include "util/strings.h"
 #include "util/units.h"
@@ -56,7 +57,11 @@ Advisor::advise(const SocSpec &soc, const Usecase &usecase,
     if (!(options.maxScale > 1.0))
         fatal("advisor maxScale must exceed 1");
 
-    const double base = GablesModel::evaluate(soc, usecase).attainable;
+    // One compiled evaluator serves the base point and every probe of
+    // the minimalScale bisections: each probe sets the scaled
+    // parameter, evaluates, and restores the base value.
+    GablesEvaluator ev(soc, usecase);
+    const double base = ev.attainable();
     std::vector<Advice> advice;
 
     auto consider = [&](AdviceKind kind, int ip, double before,
@@ -83,9 +88,10 @@ Advisor::advise(const SocSpec &soc, const Usecase &usecase,
     consider(
         AdviceKind::RaiseBpeak, -1, soc.bpeak(), options.maxScale,
         [&](double s) {
-            return GablesModel::evaluate(soc.withBpeak(soc.bpeak() * s),
-                                         usecase)
-                .attainable;
+            ev.setBpeak(soc.bpeak() * s);
+            double p = ev.attainable();
+            ev.setBpeak(soc.bpeak());
+            return p;
         },
         [&](double after) {
             return "raise Bpeak from " + formatByteRate(soc.bpeak()) +
@@ -105,10 +111,10 @@ Advisor::advise(const SocSpec &soc, const Usecase &usecase,
             AdviceKind::RaiseIpBandwidth, static_cast<int>(i),
             ip.bandwidth, options.maxScale,
             [&, i](double s) {
-                return GablesModel::evaluate(
-                           soc.withIpBandwidth(i, ip.bandwidth * s),
-                           usecase)
-                    .attainable;
+                ev.setIpBandwidth(i, ip.bandwidth * s);
+                double p = ev.attainable();
+                ev.setIpBandwidth(i, ip.bandwidth);
+                return p;
             },
             [&, who](double after) {
                 return "widen " + who + " link from " +
@@ -121,11 +127,10 @@ Advisor::advise(const SocSpec &soc, const Usecase &usecase,
                 AdviceKind::RaiseAcceleration, static_cast<int>(i),
                 ip.acceleration, options.maxScale,
                 [&, i](double s) {
-                    return GablesModel::evaluate(
-                               soc.withIpAcceleration(
-                                   i, ip.acceleration * s),
-                               usecase)
-                        .attainable;
+                    ev.setAcceleration(i, ip.acceleration * s);
+                    double p = ev.attainable();
+                    ev.setAcceleration(i, ip.acceleration);
+                    return p;
                 },
                 [&, who](double after) {
                     return "grow " + who + " acceleration from " +
@@ -140,11 +145,10 @@ Advisor::advise(const SocSpec &soc, const Usecase &usecase,
                 AdviceKind::RaiseIntensity, static_cast<int>(i),
                 intensity, options.maxIntensityScale,
                 [&, i, intensity](double s) {
-                    Usecase modified = usecase.withWork(
-                        i, IpWork{usecase.fraction(i),
-                                  intensity * s});
-                    return GablesModel::evaluate(soc, modified)
-                        .attainable;
+                    ev.setIntensity(i, intensity * s);
+                    double p = ev.attainable();
+                    ev.setIntensity(i, intensity);
+                    return p;
                 },
                 [&, who](double after) {
                     return "increase data reuse at " + who +
@@ -157,6 +161,7 @@ Advisor::advise(const SocSpec &soc, const Usecase &usecase,
     // Software: optimal re-split at current intensities.
     {
         std::vector<double> intensities;
+        intensities.reserve(soc.numIps());
         bool feasible = true;
         for (size_t i = 0; i < soc.numIps(); ++i) {
             double v = usecase.intensity(i);

@@ -2,22 +2,45 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/logging.h"
 
 namespace gables {
 
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** Pareto domination: a is at least as good on both axes and
+ * strictly better on one. */
+bool
+dominatesPoint(double a_perf, double a_cost, double b_perf,
+               double b_cost)
+{
+    return a_perf >= b_perf && a_cost <= b_cost &&
+           (a_perf > b_perf || a_cost < b_cost);
+}
+
+} // namespace
+
 double
-CostModel::cost(const SocSpec &soc) const
+CostModel::cost(double bpeak, const std::vector<IpSpec> &ips) const
 {
     double accel = 0.0;
     double ip_bw = 0.0;
-    for (const IpSpec &ip : soc.ips()) {
+    for (const IpSpec &ip : ips) {
         accel += ip.acceleration;
         ip_bw += ip.bandwidth;
     }
-    return costPerAcceleration * accel + costPerBpeak * soc.bpeak() +
+    return costPerAcceleration * accel + costPerBpeak * bpeak +
            costPerIpBandwidth * ip_bw;
+}
+
+double
+CostModel::cost(const SocSpec &soc) const
+{
+    return cost(soc.bpeak(), soc.ips());
 }
 
 DesignExplorer::DesignExplorer(SocSpec base, std::vector<Usecase> usecases,
@@ -39,10 +62,7 @@ DesignExplorer::sweepBpeak(std::vector<double> values)
 {
     if (values.empty())
         fatal("empty sweep values");
-    knobs_.push_back({[](const SocSpec &s, double v) {
-                          return s.withBpeak(v);
-                      },
-                      std::move(values)});
+    knobs_.push_back({Knob::Kind::Bpeak, 0, std::move(values)});
 }
 
 void
@@ -52,10 +72,11 @@ DesignExplorer::sweepAcceleration(size_t ip, std::vector<double> values)
         fatal("empty sweep values");
     if (ip == 0)
         fatal("cannot sweep A0: the paper fixes A0 = 1");
-    knobs_.push_back({[ip](const SocSpec &s, double v) {
-                          return s.withIpAcceleration(ip, v);
-                      },
-                      std::move(values)});
+    if (ip >= base_.numIps())
+        fatal("sweep targets IP " + std::to_string(ip) +
+              " but the base design has only " +
+              std::to_string(base_.numIps()) + " IPs");
+    knobs_.push_back({Knob::Kind::Acceleration, ip, std::move(values)});
 }
 
 void
@@ -63,10 +84,11 @@ DesignExplorer::sweepIpBandwidth(size_t ip, std::vector<double> values)
 {
     if (values.empty())
         fatal("empty sweep values");
-    knobs_.push_back({[ip](const SocSpec &s, double v) {
-                          return s.withIpBandwidth(ip, v);
-                      },
-                      std::move(values)});
+    if (ip >= base_.numIps())
+        fatal("sweep targets IP " + std::to_string(ip) +
+              " but the base design has only " +
+              std::to_string(base_.numIps()) + " IPs");
+    knobs_.push_back({Knob::Kind::IpBandwidth, ip, std::move(values)});
 }
 
 size_t
@@ -76,6 +98,110 @@ DesignExplorer::gridSize() const
     for (const Knob &knob : knobs_)
         total *= knob.values.size();
     return total;
+}
+
+bool
+DesignExplorer::hasDuplicateKnobTargets() const
+{
+    for (size_t i = 0; i < knobs_.size(); ++i) {
+        for (size_t j = i + 1; j < knobs_.size(); ++j) {
+            if (knobs_[i].kind != knobs_[j].kind)
+                continue;
+            if (knobs_[i].kind == Knob::Kind::Bpeak ||
+                knobs_[i].ip == knobs_[j].ip)
+                return true;
+        }
+    }
+    return false;
+}
+
+DesignExplorer::WorkerState
+DesignExplorer::makeWorkerState() const
+{
+    WorkerState ws;
+    ws.evaluators.reserve(usecases_.size());
+    for (const Usecase &u : usecases_)
+        ws.evaluators.emplace_back(base_, u);
+    ws.bpeak = base_.bpeak();
+    ws.ips = base_.ips();
+    // "No digit applied yet": the first applyDigits() call applies
+    // every knob.
+    ws.digits.assign(knobs_.size(),
+                     std::numeric_limits<size_t>::max());
+    ws.incremental = !hasDuplicateKnobTargets();
+    return ws;
+}
+
+void
+DesignExplorer::applyKnobHardware(WorkerState &ws, const Knob &knob,
+                                  double v)
+{
+    switch (knob.kind) {
+    case Knob::Kind::Bpeak:
+        ws.bpeak = v;
+        break;
+    case Knob::Kind::Acceleration:
+        ws.ips[knob.ip].acceleration = v;
+        break;
+    case Knob::Kind::IpBandwidth:
+        ws.ips[knob.ip].bandwidth = v;
+        break;
+    }
+}
+
+void
+DesignExplorer::applyKnob(WorkerState &ws, const Knob &knob,
+                          double v) const
+{
+    switch (knob.kind) {
+    case Knob::Kind::Bpeak:
+        for (GablesEvaluator &ev : ws.evaluators)
+            ev.setBpeak(v);
+        break;
+    case Knob::Kind::Acceleration:
+        for (GablesEvaluator &ev : ws.evaluators)
+            ev.setAcceleration(knob.ip, v);
+        break;
+    case Knob::Kind::IpBandwidth:
+        for (GablesEvaluator &ev : ws.evaluators)
+            ev.setIpBandwidth(knob.ip, v);
+        break;
+    }
+    applyKnobHardware(ws, knob, v);
+}
+
+void
+DesignExplorer::applyDigits(WorkerState &ws, size_t flat) const
+{
+    size_t rest = flat;
+    for (size_t k = 0; k < knobs_.size(); ++k) {
+        const Knob &knob = knobs_[k];
+        size_t digit = rest % knob.values.size();
+        rest /= knob.values.size();
+        if (!ws.incremental || ws.digits[k] != digit) {
+            applyKnob(ws, knob, knob.values[digit]);
+            ws.digits[k] = digit;
+        }
+    }
+}
+
+void
+DesignExplorer::evaluateOne(size_t flat, WorkerState &ws,
+                            Candidate &out) const
+{
+    applyDigits(ws, flat);
+    out.soc = SocSpec(base_.name(), base_.ppeak(), ws.bpeak, ws.ips);
+    out.cost = cost_.cost(ws.bpeak, ws.ips);
+    out.pareto = false;
+    out.perUsecase.clear();
+    out.perUsecase.reserve(usecases_.size());
+    double min_perf = kInf;
+    for (GablesEvaluator &ev : ws.evaluators) {
+        double p = ev.attainable();
+        out.perUsecase.push_back(p);
+        min_perf = std::min(min_perf, p);
+    }
+    out.minPerf = min_perf;
 }
 
 std::vector<Candidate>
@@ -90,27 +216,17 @@ DesignExplorer::explore(int jobs, parallel::ForStats *stats) const
 
     parallel::ForOptions opts;
     opts.jobs = jobs;
+    int workers = parallel::plannedWorkers(candidates.size(), opts);
+    std::vector<WorkerState> states;
+    states.reserve(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w)
+        states.push_back(makeWorkerState());
+
     parallel::ForStats st = parallel::parallelFor(
         candidates.size(),
-        [&](size_t i) {
-            SocSpec design = base_;
-            size_t rest = i;
-            for (const Knob &knob : knobs_) {
-                design =
-                    knob.apply(design,
-                               knob.values[rest % knob.values.size()]);
-                rest /= knob.values.size();
-            }
-
-            Candidate c{design, 0.0, {}, cost_.cost(design), false};
-            double min_perf = std::numeric_limits<double>::infinity();
-            for (const Usecase &u : usecases_) {
-                double p = GablesModel::evaluate(design, u).attainable;
-                c.perUsecase.push_back(p);
-                min_perf = std::min(min_perf, p);
-            }
-            c.minPerf = min_perf;
-            candidates[i] = std::move(c);
+        [&](size_t i, int worker) {
+            evaluateOne(i, states[static_cast<size_t>(worker)],
+                        candidates[i]);
         },
         opts);
     if (stats)
@@ -127,37 +243,249 @@ DesignExplorer::explore(int jobs, parallel::ForStats *stats) const
                  j < candidates.size() && !dominated; ++j) {
                 if (i == j)
                     continue;
-                const Candidate &a = candidates[j];
-                const Candidate &b = candidates[i];
-                bool better_or_equal =
-                    a.minPerf >= b.minPerf && a.cost <= b.cost;
-                bool strictly_better =
-                    a.minPerf > b.minPerf || a.cost < b.cost;
-                dominated = better_or_equal && strictly_better;
+                dominated = dominatesPoint(
+                    candidates[j].minPerf, candidates[j].cost,
+                    candidates[i].minPerf, candidates[i].cost);
             }
             candidates[i].pareto = !dominated;
         },
         opts);
 
-    std::sort(candidates.begin(), candidates.end(),
-              [](const Candidate &a, const Candidate &b) {
-                  return a.minPerf > b.minPerf;
-              });
+    // Stable: equal-minPerf candidates keep enumeration order, which
+    // is what makes the pruned frontier ordering reproducible.
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Candidate &a, const Candidate &b) {
+                         return a.minPerf > b.minPerf;
+                     });
     return candidates;
+}
+
+std::vector<Candidate>
+DesignExplorer::exploreFrontier(const ExploreOptions &options,
+                                ExploreStats *stats) const
+{
+    const size_t total = gridSize();
+    const size_t n_use = usecases_.size();
+    const size_t n_knobs = knobs_.size();
+
+    parallel::ForOptions opts;
+    opts.jobs = options.jobs;
+    const int workers = parallel::plannedWorkers(total, opts);
+
+    // Per-knob bounds assume each knob drives its own model term;
+    // two sweeps on the same term make the later one override the
+    // earlier in enumeration order, so fall back to full evaluation.
+    const bool prune = options.prune && !hasDuplicateKnobTargets();
+    const size_t chunk = std::max<size_t>(1, options.subgridSize);
+
+    ExploreStats st;
+    st.forStats.workers = workers;
+    st.forStats.busySeconds.assign(static_cast<size_t>(workers), 0.0);
+
+    std::vector<WorkerState> states;
+    states.reserve(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w)
+        states.push_back(makeWorkerState());
+    WorkerState probe = prune ? makeWorkerState() : WorkerState{};
+
+    // Flat-index stride of each knob (knob 0 varies fastest).
+    std::vector<size_t> stride(n_knobs, 1);
+    for (size_t k = 1; k < n_knobs; ++k)
+        stride[k] = stride[k - 1] * knobs_[k - 1].values.size();
+
+    // The digits knob k takes over flat range [lo, hi] form either
+    // the full radix or a contiguous run (mod radix) of the quotient
+    // lo/stride .. hi/stride.
+    auto forEachCoveredDigit = [&](size_t k, size_t lo, size_t hi,
+                                   auto &&fn) {
+        size_t radix = knobs_[k].values.size();
+        size_t q_lo = lo / stride[k];
+        size_t q_hi = hi / stride[k];
+        size_t count = q_hi - q_lo + 1;
+        if (count >= radix) {
+            for (size_t d = 0; d < radix; ++d)
+                fn(d);
+            return;
+        }
+        size_t d = q_lo % radix;
+        for (size_t t = 0; t < count; ++t) {
+            fn(d);
+            d = (d + 1 == radix) ? 0 : d + 1;
+        }
+    };
+
+    // Light per-design record; full Candidates (SocSpec, perUsecase)
+    // are materialized only for the final frontier members.
+    struct Point {
+        size_t flat;
+        double minPerf;
+        double cost;
+    };
+    // Pareto set of all designs evaluated so far, kept in
+    // enumeration order.
+    std::vector<Point> incumbents;
+
+    // A subgrid is skipped when some incumbent strictly dominates
+    // its best corner — and therefore strictly dominates every
+    // design inside it: performance is weakly nondecreasing in every
+    // knob (bitwise, since FP *, /, +, max are weakly monotone), so
+    // Pmax at the all-max corner bounds the box from above, and the
+    // linear cost at the sign-chosen corner bounds it from below.
+    auto dominatedByIncumbent = [&](double p_max, double c_min) {
+        for (const Point &c : incumbents) {
+            if ((c.minPerf >= p_max && c.cost < c_min) ||
+                (c.minPerf > p_max && c.cost <= c_min))
+                return true;
+        }
+        return false;
+    };
+
+    auto subgridBounds = [&](size_t lo, size_t hi, double &p_max,
+                             double &c_min) {
+        // Max-performance corner: largest covered value per knob,
+        // evaluated with the same arithmetic as any real design.
+        for (size_t k = 0; k < n_knobs; ++k) {
+            double best = -kInf;
+            forEachCoveredDigit(k, lo, hi, [&](size_t d) {
+                best = std::max(best, knobs_[k].values[d]);
+            });
+            applyKnob(probe, knobs_[k], best);
+        }
+        double min_perf = kInf;
+        for (GablesEvaluator &ev : probe.evaluators)
+            min_perf = std::min(min_perf, ev.attainable());
+        p_max = min_perf;
+
+        // Min-cost corner: per knob, the covered value whose linear
+        // cost contribution is smallest given the coefficient sign.
+        for (size_t k = 0; k < n_knobs; ++k) {
+            double coeff = 0.0;
+            switch (knobs_[k].kind) {
+            case Knob::Kind::Bpeak:
+                coeff = cost_.costPerBpeak;
+                break;
+            case Knob::Kind::Acceleration:
+                coeff = cost_.costPerAcceleration;
+                break;
+            case Knob::Kind::IpBandwidth:
+                coeff = cost_.costPerIpBandwidth;
+                break;
+            }
+            bool want_min = coeff >= 0.0;
+            double chosen = want_min ? kInf : -kInf;
+            forEachCoveredDigit(k, lo, hi, [&](size_t d) {
+                double v = knobs_[k].values[d];
+                chosen = want_min ? std::min(chosen, v)
+                                  : std::max(chosen, v);
+            });
+            applyKnobHardware(probe, knobs_[k], chosen);
+        }
+        c_min = cost_.cost(probe.bpeak, probe.ips);
+    };
+
+    auto mergeIncumbent = [&](const Point &p) {
+        for (const Point &c : incumbents) {
+            if (dominatesPoint(c.minPerf, c.cost, p.minPerf, p.cost))
+                return;
+        }
+        incumbents.erase(
+            std::remove_if(incumbents.begin(), incumbents.end(),
+                           [&](const Point &c) {
+                               return dominatesPoint(p.minPerf, p.cost,
+                                                     c.minPerf, c.cost);
+                           }),
+            incumbents.end());
+        incumbents.push_back(p);
+    };
+
+    // One pool reused across every subgrid; busy time accumulates.
+    parallel::ThreadPool pool(workers);
+    std::vector<Point> chunk_points;
+    chunk_points.reserve(chunk);
+
+    for (size_t lo = 0; lo < total; lo += chunk) {
+        const size_t hi = std::min(total, lo + chunk);
+        if (prune && !incumbents.empty()) {
+            double p_max = 0.0;
+            double c_min = 0.0;
+            subgridBounds(lo, hi - 1, p_max, c_min);
+            if (dominatedByIncumbent(p_max, c_min)) {
+                ++st.subgridsSkipped;
+                st.evalsPruned +=
+                    static_cast<uint64_t>(hi - lo) * n_use;
+                continue;
+            }
+        }
+
+        chunk_points.resize(hi - lo);
+        pool.forEach(hi - lo, [&](size_t i, int worker) {
+            WorkerState &ws = states[static_cast<size_t>(worker)];
+            Point &p = chunk_points[i];
+            p.flat = lo + i;
+            applyDigits(ws, p.flat);
+            p.cost = cost_.cost(ws.bpeak, ws.ips);
+            double min_perf = kInf;
+            for (GablesEvaluator &ev : ws.evaluators)
+                min_perf = std::min(min_perf, ev.attainable());
+            p.minPerf = min_perf;
+        });
+        const std::vector<double> &busy = pool.busySeconds();
+        for (size_t w = 0;
+             w < busy.size() && w < st.forStats.busySeconds.size(); ++w)
+            st.forStats.busySeconds[w] += busy[w];
+
+        // Merge in enumeration order so the incumbent list stays in
+        // enumeration order (appends only ever grow the flat index).
+        for (const Point &p : chunk_points)
+            mergeIncumbent(p);
+    }
+
+    // Materialize the frontier: re-derive each member's SocSpec and
+    // per-usecase detail (deterministic, so bit-identical to the
+    // values that earned it frontier membership).
+    std::vector<Candidate> out;
+    out.reserve(incumbents.size());
+    WorkerState &scratch = states.front();
+    for (const Point &p : incumbents) {
+        Candidate c{base_, 0.0, {}, 0.0, false};
+        evaluateOne(p.flat, scratch, c);
+        c.pareto = true;
+        out.push_back(std::move(c));
+    }
+    // Equal-cost frontier members necessarily tie on minPerf too
+    // (else one would dominate the other), and they sit in
+    // enumeration order, so this matches frontier(explore()) exactly.
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Candidate &a, const Candidate &b) {
+                         return a.cost < b.cost;
+                     });
+
+    for (const WorkerState &ws : states)
+        for (const GablesEvaluator &ev : ws.evaluators)
+            st.evals += ev.evalCount();
+    for (const GablesEvaluator &ev : probe.evaluators)
+        st.evals += ev.evalCount();
+    if (stats)
+        *stats = st;
+    return out;
 }
 
 std::vector<Candidate>
 DesignExplorer::frontier(const std::vector<Candidate> &candidates)
 {
     std::vector<Candidate> out;
+    size_t members = 0;
+    for (const Candidate &c : candidates)
+        members += c.pareto ? 1 : 0;
+    out.reserve(members);
     for (const Candidate &c : candidates) {
         if (c.pareto)
             out.push_back(c);
     }
-    std::sort(out.begin(), out.end(),
-              [](const Candidate &a, const Candidate &b) {
-                  return a.cost < b.cost;
-              });
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Candidate &a, const Candidate &b) {
+                         return a.cost < b.cost;
+                     });
     return out;
 }
 

@@ -7,15 +7,28 @@
  * immaterial: every usecase must run acceptably, so the score is the
  * MINIMUM attainable performance across usecases), attaches a simple
  * cost model, and extracts the Pareto frontier.
+ *
+ * Evaluation runs on per-worker compiled GablesEvaluator instances:
+ * each knob digit updates one model term instead of rebuilding a
+ * SocSpec per knob per design. exploreFrontier() additionally prunes
+ * with monotonicity bounds: Pattainable is nondecreasing in Ai, Bi,
+ * and Bpeak, so one evaluation at a subgrid's max corner upper-bounds
+ * every design inside it, and the linear cost model's min corner
+ * lower-bounds their cost — a subgrid whose best possible point is
+ * strictly dominated by the incumbent frontier is skipped without
+ * evaluating its designs. The frontier is provably identical to the
+ * unpruned one (skipped designs are strictly dominated, and strict
+ * domination is inherited through the incumbent set).
  */
 
 #ifndef GABLES_ANALYSIS_EXPLORER_H
 #define GABLES_ANALYSIS_EXPLORER_H
 
-#include <functional>
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "core/evaluator.h"
 #include "core/gables.h"
 #include "parallel/parallel_for.h"
 
@@ -35,6 +48,11 @@ struct CostModel {
 
     /** Evaluate the cost of a design. */
     double cost(const SocSpec &soc) const;
+
+    /** Same arithmetic on raw hardware arrays (allocation-free form
+     * used by the explorer's hot loop; cost(SocSpec) delegates here,
+     * so both produce bit-identical values). */
+    double cost(double bpeak, const std::vector<IpSpec> &ips) const;
 };
 
 /** One evaluated candidate design. */
@@ -49,6 +67,33 @@ struct Candidate {
     double cost = 0.0;
     /** True if no other candidate dominates it (set by explore()). */
     bool pareto = false;
+};
+
+/** Tuning knobs for exploreFrontier(). */
+struct ExploreOptions {
+    /** Worker count (1 = serial, 0 = hardware concurrency). */
+    int jobs = 1;
+    /** Enable bound-based subgrid pruning (the frontier is identical
+     * either way; pruning only skips work). */
+    bool prune = true;
+    /** Flat enumeration indices per pruning subgrid. */
+    size_t subgridSize = 256;
+};
+
+/** Work accounting of one exploreFrontier() run, for the model.*
+ * telemetry counters. */
+struct ExploreStats {
+    /** Model evaluations performed: designs x usecases, plus one
+     * max-corner probe per usecase per tested subgrid, plus one
+     * re-evaluation per usecase per frontier member when the final
+     * candidates are materialized. */
+    uint64_t evals = 0;
+    /** Model evaluations skipped via subgrid bounds. */
+    uint64_t evalsPruned = 0;
+    /** Subgrids skipped whole. */
+    uint64_t subgridsSkipped = 0;
+    /** Worker count and busy time of the evaluation loops. */
+    parallel::ForStats forStats;
 };
 
 /**
@@ -86,10 +131,29 @@ class DesignExplorer
      * @param stats Optional out: worker count and busy time of the
      *              candidate-evaluation loop.
      * @return All candidates, Pareto members flagged, sorted by
-     *         descending minPerf.
+     *         descending minPerf (stable: enumeration order breaks
+     *         ties).
      */
     std::vector<Candidate>
     explore(int jobs = 1, parallel::ForStats *stats = nullptr) const;
+
+    /**
+     * The Pareto frontier only, with bound-based subgrid pruning:
+     * dominated regions of the grid are skipped without evaluating
+     * their designs, so only a fraction of the cross product is ever
+     * computed on large grids. The returned frontier — member set,
+     * every Candidate field, and order — is identical to
+     * frontier(explore(jobs)) for any options (verified by golden
+     * and property tests); pruning only changes how much work is
+     * done.
+     *
+     * @param options Worker count and pruning knobs.
+     * @param stats   Optional out: evaluation/pruning work counters.
+     * @return Pareto frontier, sorted by ascending cost.
+     */
+    std::vector<Candidate>
+    exploreFrontier(const ExploreOptions &options = {},
+                    ExploreStats *stats = nullptr) const;
 
     /** @return Number of candidate designs explore() will evaluate. */
     size_t gridSize() const;
@@ -99,10 +163,49 @@ class DesignExplorer
     frontier(const std::vector<Candidate> &candidates);
 
   private:
+    /** A swept parameter: which model term it drives and the grid
+     * values it takes (knob 0 varies fastest in enumeration order). */
     struct Knob {
-        std::function<SocSpec(const SocSpec &, double)> apply;
+        enum class Kind { Bpeak, Acceleration, IpBandwidth };
+        Kind kind;
+        size_t ip; // unused for Bpeak
         std::vector<double> values;
     };
+
+    /**
+     * Per-worker evaluation state: one compiled evaluator per
+     * usecase, scratch hardware arrays for materializing the
+     * candidate's SocSpec, and the last-applied knob digits so
+     * consecutive grid points only touch the knobs that changed.
+     */
+    struct WorkerState {
+        std::vector<GablesEvaluator> evaluators;
+        double bpeak = 0.0;
+        std::vector<IpSpec> ips;
+        std::vector<size_t> digits;
+        /** False when knobs share a model term: the term's value then
+         * depends on applying every knob in registration order (later
+         * wins), so the unchanged-digit skip would make a design's
+         * value depend on traversal history. */
+        bool incremental = true;
+    };
+
+    WorkerState makeWorkerState() const;
+    /** Apply knob value @p v to the worker's evaluators and scratch
+     * hardware arrays. */
+    void applyKnob(WorkerState &ws, const Knob &knob, double v) const;
+    /** Apply knob value @p v to the scratch hardware arrays only
+     * (bound probes that never evaluate the model). */
+    static void applyKnobHardware(WorkerState &ws, const Knob &knob,
+                                  double v);
+    /** Decompose @p flat into per-knob digits and apply the ones
+     * that differ from the worker's last applied digits. */
+    void applyDigits(WorkerState &ws, size_t flat) const;
+    /** Evaluate flat enumeration index @p flat into @p out. */
+    void evaluateOne(size_t flat, WorkerState &ws, Candidate &out) const;
+    /** @return True if two knobs drive the same model term (later
+     * application overrides earlier; bounds would be wrong). */
+    bool hasDuplicateKnobTargets() const;
 
     SocSpec base_;
     std::vector<Usecase> usecases_;

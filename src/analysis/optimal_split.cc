@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "core/evaluator.h"
 #include "util/logging.h"
 
 namespace gables {
@@ -21,6 +22,23 @@ OptimalSplitSolver::OptimalSplitSolver(const SocSpec &soc,
             fatal("optimal split: intensity I[" + std::to_string(i) +
                   "] must be > 0");
     }
+
+    // Both fill passes visit IPs in the same order and use the same
+    // t-independent roofline values; compute them once here.
+    const size_t n = soc_.numIps();
+    order_.resize(n);
+    std::iota(order_.begin(), order_.end(), size_t{0});
+    std::sort(order_.begin(), order_.end(), [&](size_t a, size_t b) {
+        return intensities_[a] > intensities_[b];
+    });
+    roofs_.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+        roofs_[i] = std::isinf(intensities_[i])
+                        ? soc_.ipPeakPerf(i)
+                        : std::min(soc_.ip(i).bandwidth *
+                                       intensities_[i],
+                                   soc_.ipPeakPerf(i));
+    }
 }
 
 double
@@ -29,22 +47,10 @@ OptimalSplitSolver::placeableWork(double t) const
     // Each IP can absorb at most ri * t ops within deadline t; the
     // memory interface can carry Bpeak * t bytes. Greedily place work
     // on the IPs that cost the least bytes per op (highest Ii) first.
-    const size_t n = soc_.numIps();
-    std::vector<size_t> order(n);
-    std::iota(order.begin(), order.end(), size_t{0});
-    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-        return intensities_[a] > intensities_[b];
-    });
-
     double byte_budget = soc_.bpeak() * t;
     double placed = 0.0;
-    for (size_t i : order) {
-        double roof = std::isinf(intensities_[i])
-                          ? soc_.ipPeakPerf(i)
-                          : std::min(soc_.ip(i).bandwidth *
-                                         intensities_[i],
-                                     soc_.ipPeakPerf(i));
-        double cap = roof * t;
+    for (size_t i : order_) {
+        double cap = roofs_[i] * t;
         if (std::isinf(intensities_[i])) {
             placed += cap; // free of memory traffic
             continue;
@@ -72,24 +78,13 @@ OptimalSplitSolver::solve() const
 
     // Re-run the greedy fill at t* to recover the fractions.
     const size_t n = soc_.numIps();
-    std::vector<size_t> order(n);
-    std::iota(order.begin(), order.end(), size_t{0});
-    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-        return intensities_[a] > intensities_[b];
-    });
-
     std::vector<double> fractions(n, 0.0);
     double byte_budget = soc_.bpeak() * t_star;
     double remaining = 1.0;
-    for (size_t i : order) {
+    for (size_t i : order_) {
         if (remaining <= 0.0)
             break;
-        double roof = std::isinf(intensities_[i])
-                          ? soc_.ipPeakPerf(i)
-                          : std::min(soc_.ip(i).bandwidth *
-                                         intensities_[i],
-                                     soc_.ipPeakPerf(i));
-        double cap = roof * t_star;
+        double cap = roofs_[i] * t_star;
         double take;
         if (std::isinf(intensities_[i])) {
             take = std::min(cap, remaining);
@@ -114,9 +109,9 @@ OptimalSplitSolver::solve() const
         work[i] = IpWork{fractions[i], intensities_[i]};
     Usecase usecase("optimal split", std::move(work));
 
-    OptimalSplit result{fractions,
-                        GablesModel::evaluate(soc_, usecase).attainable,
-                        usecase};
+    GablesEvaluator ev(soc_, usecase);
+    OptimalSplit result{std::move(fractions), ev.attainable(),
+                        std::move(usecase)};
     return result;
 }
 

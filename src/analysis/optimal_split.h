@@ -66,6 +66,13 @@ class OptimalSplitSolver
   private:
     const SocSpec &soc_;
     std::vector<double> intensities_;
+    /** IP indices in greedy fill order (descending intensity),
+     * computed once at construction instead of per fill pass. */
+    std::vector<size_t> order_;
+    /** Unscaled roofline value ri = min(Bi * Ii, Ai * Ppeak) per IP
+     * (Ai * Ppeak alone when Ii is infinite), hoisted because it does
+     * not depend on the deadline t. */
+    std::vector<double> roofs_;
 };
 
 } // namespace gables

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/evaluator.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -18,9 +19,14 @@ Robustness::analyze(const SocSpec &soc, const Usecase &usecase,
         !(options.fractionJitter >= 1.0))
         fatal("jitter factors must be >= 1");
 
+    // One compiled evaluator serves the nominal point and every
+    // Monte-Carlo sample; each sample overwrites the per-IP work
+    // terms in place instead of constructing a Usecase.
+    GablesEvaluator ev(soc, usecase);
+
     RobustnessReport report;
     report.samples = options.samples;
-    report.nominal = GablesModel::evaluate(soc, usecase).attainable;
+    report.nominal = ev.attainable();
 
     Rng rng(options.seed);
     std::vector<double> perf;
@@ -28,13 +34,18 @@ Robustness::analyze(const SocSpec &soc, const Usecase &usecase,
     std::map<int, int> bottleneck_counts;
     int meets = 0;
 
+    const size_t n = usecase.numIps();
+    std::vector<double> fractions(n, 0.0);
+    std::vector<double> intensities(n, 1.0);
+    GablesResult scratch;
+
     for (int s = 0; s < options.samples; ++s) {
-        std::vector<IpWork> work(usecase.numIps());
         double sum = 0.0;
-        for (size_t i = 0; i < usecase.numIps(); ++i) {
+        for (size_t i = 0; i < n; ++i) {
             const IpWork &w = usecase.at(i);
             if (w.fraction == 0.0) {
-                work[i] = IpWork{0.0, 1.0};
+                fractions[i] = 0.0;
+                intensities[i] = 1.0;
                 continue;
             }
             double f_scale =
@@ -47,21 +58,20 @@ Robustness::analyze(const SocSpec &soc, const Usecase &usecase,
                     ? 1.0
                     : rng.logUniform(1.0 / options.intensityJitter,
                                      options.intensityJitter);
-            double intensity = std::isinf(w.intensity)
-                                   ? w.intensity
-                                   : w.intensity * i_scale;
-            work[i] = IpWork{w.fraction * f_scale, intensity};
-            sum += work[i].fraction;
+            intensities[i] = std::isinf(w.intensity)
+                                 ? w.intensity
+                                 : w.intensity * i_scale;
+            fractions[i] = w.fraction * f_scale;
+            sum += fractions[i];
         }
         GABLES_ASSERT(sum > 0.0, "perturbation removed all work");
-        for (IpWork &w : work)
-            w.fraction /= sum;
+        for (size_t i = 0; i < n; ++i)
+            ev.setWork(i, fractions[i] / sum, intensities[i]);
 
-        Usecase sample("mc", std::move(work));
-        GablesResult r = GablesModel::evaluate(soc, sample);
-        perf.push_back(r.attainable);
-        bottleneck_counts[r.bottleneckIp]++;
-        if (options.target > 0.0 && r.attainable >= options.target)
+        ev.evaluate(scratch);
+        perf.push_back(scratch.attainable);
+        bottleneck_counts[scratch.bottleneckIp]++;
+        if (options.target > 0.0 && scratch.attainable >= options.target)
             ++meets;
     }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <functional>
 
+#include "core/evaluator.h"
 #include "util/logging.h"
 
 namespace gables {
@@ -29,24 +30,33 @@ Sensitivity::analyze(const SocSpec &soc, const Usecase &usecase,
                      double rel_step)
 {
     std::vector<SensitivityEntry> entries;
+    entries.reserve(2 * soc.numIps() + 1 + usecase.numIps());
 
-    auto perf = [&](const SocSpec &s) {
-        return GablesModel::evaluate(s, usecase).attainable;
-    };
+    // One compiled evaluator serves every probe: each lambda sets the
+    // probed parameter, evaluates, and restores the base value, so
+    // only the touched timing lanes are ever recomputed.
+    GablesEvaluator ev(soc, usecase);
 
     entries.push_back(
         {"Ppeak", elasticity(
                       soc.ppeak(),
                       [&](double v) {
-                          SocSpec s(soc.name(), v, soc.bpeak(), soc.ips());
-                          return perf(s);
+                          ev.setPpeak(v);
+                          double p = ev.attainable();
+                          ev.setPpeak(soc.ppeak());
+                          return p;
                       },
                       rel_step)});
 
     entries.push_back(
         {"Bpeak", elasticity(
                       soc.bpeak(),
-                      [&](double v) { return perf(soc.withBpeak(v)); },
+                      [&](double v) {
+                          ev.setBpeak(v);
+                          double p = ev.attainable();
+                          ev.setBpeak(soc.bpeak());
+                          return p;
+                      },
                       rel_step)});
 
     for (size_t i = 1; i < soc.numIps(); ++i) {
@@ -55,7 +65,10 @@ Sensitivity::analyze(const SocSpec &soc, const Usecase &usecase,
              elasticity(
                  soc.ip(i).acceleration,
                  [&](double v) {
-                     return perf(soc.withIpAcceleration(i, v));
+                     ev.setAcceleration(i, v);
+                     double p = ev.attainable();
+                     ev.setAcceleration(i, soc.ip(i).acceleration);
+                     return p;
                  },
                  rel_step)});
     }
@@ -66,7 +79,10 @@ Sensitivity::analyze(const SocSpec &soc, const Usecase &usecase,
              elasticity(
                  soc.ip(i).bandwidth,
                  [&](double v) {
-                     return perf(soc.withIpBandwidth(i, v));
+                     ev.setIpBandwidth(i, v);
+                     double p = ev.attainable();
+                     ev.setIpBandwidth(i, soc.ip(i).bandwidth);
+                     return p;
                  },
                  rel_step)});
     }
@@ -80,10 +96,10 @@ Sensitivity::analyze(const SocSpec &soc, const Usecase &usecase,
              elasticity(
                  w.intensity,
                  [&](double v) {
-                     Usecase modified =
-                         usecase.withWork(i, IpWork{w.fraction, v});
-                     return GablesModel::evaluate(soc, modified)
-                         .attainable;
+                     ev.setIntensity(i, v);
+                     double p = ev.attainable();
+                     ev.setIntensity(i, w.intensity);
+                     return p;
                  },
                  rel_step)});
     }

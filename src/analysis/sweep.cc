@@ -12,6 +12,8 @@ Sweep::fill(std::string label, const std::vector<double> &xs,
 {
     Series series;
     series.label = std::move(label);
+    series.x.reserve(xs.size());
+    series.y.reserve(xs.size());
     series.x = xs;
     series.y.resize(xs.size());
     parallel::ForOptions opts;
@@ -25,12 +27,55 @@ Sweep::fill(std::string label, const std::vector<double> &xs,
 }
 
 Series
+Sweep::fillWith(std::string label, const SocSpec &soc,
+                const Usecase &seed, const std::vector<double> &xs,
+                const std::function<double(GablesEvaluator &, double)>
+                    &point,
+                int jobs, parallel::ForStats *stats)
+{
+    Series series;
+    series.label = std::move(label);
+    series.x.reserve(xs.size());
+    series.y.reserve(xs.size());
+    series.x = xs;
+    series.y.resize(xs.size());
+
+    parallel::ForOptions opts;
+    opts.jobs = jobs;
+    // One compiled evaluator per pool worker: mutators are stateful,
+    // and worker indices are stable for the duration of one loop.
+    // An empty grid never calls the body, so compile nothing.
+    int workers =
+        xs.empty() ? 0 : parallel::plannedWorkers(xs.size(), opts);
+    std::vector<GablesEvaluator> evaluators;
+    evaluators.reserve(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w)
+        evaluators.emplace_back(soc, seed);
+
+    parallel::ForStats st = parallel::parallelFor(
+        xs.size(),
+        [&](size_t i, int worker) {
+            series.y[i] =
+                point(evaluators[static_cast<size_t>(worker)],
+                      series.x[i]);
+        },
+        opts);
+    if (stats)
+        *stats = st;
+    return series;
+}
+
+Series
 Sweep::mixing(const SocSpec &soc, double i0, double i1,
               const std::vector<double> &fractions, bool normalize,
               int jobs, parallel::ForStats *stats)
 {
     if (soc.numIps() < 2)
         fatal("mixing sweep needs a SoC with at least two IPs");
+    for (double f : fractions) {
+        if (!(f >= 0.0 && f <= 1.0))
+            fatal("mixing fraction must be in [0, 1]");
+    }
 
     auto usecase_for = [&](double f) {
         std::vector<IpWork> work(soc.numIps());
@@ -42,16 +87,20 @@ Sweep::mixing(const SocSpec &soc, double i0, double i1,
     };
 
     double base = 1.0;
-    if (normalize)
-        base = GablesModel::evaluate(soc, usecase_for(0.0)).attainable;
+    if (normalize) {
+        GablesEvaluator ev(soc, usecase_for(0.0));
+        base = ev.attainable();
+    }
 
-    return fill(
-        "I0=" + formatDouble(i0) + " I1=" + formatDouble(i1), fractions,
-        [&](double f) {
-            if (!(f >= 0.0 && f <= 1.0))
-                fatal("mixing fraction must be in [0, 1]");
-            return GablesModel::evaluate(soc, usecase_for(f)).attainable /
-                   base;
+    Usecase seed =
+        usecase_for(fractions.empty() ? 0.0 : fractions[0]);
+    return fillWith(
+        "I0=" + formatDouble(i0) + " I1=" + formatDouble(i1), soc, seed,
+        fractions,
+        [base](GablesEvaluator &ev, double f) {
+            ev.setFraction(0, 1.0 - f);
+            ev.setFraction(1, f);
+            return ev.attainable() / base;
         },
         jobs, stats);
 }
@@ -61,11 +110,11 @@ Sweep::bpeak(const SocSpec &soc, const Usecase &usecase,
              const std::vector<double> &values, int jobs,
              parallel::ForStats *stats)
 {
-    return fill(
-        "Bpeak sweep", values,
-        [&](double b) {
-            return GablesModel::evaluate(soc.withBpeak(b), usecase)
-                .attainable;
+    return fillWith(
+        "Bpeak sweep", soc, usecase, values,
+        [](GablesEvaluator &ev, double b) {
+            ev.setBpeak(b);
+            return ev.attainable();
         },
         jobs, stats);
 }
@@ -75,12 +124,11 @@ Sweep::intensity(const SocSpec &soc, const Usecase &usecase, size_t ip,
                  const std::vector<double> &values, int jobs,
                  parallel::ForStats *stats)
 {
-    return fill(
-        "I[" + std::to_string(ip) + "] sweep", values,
-        [&](double i) {
-            Usecase modified =
-                usecase.withWork(ip, IpWork{usecase.fraction(ip), i});
-            return GablesModel::evaluate(soc, modified).attainable;
+    return fillWith(
+        "I[" + std::to_string(ip) + "] sweep", soc, usecase, values,
+        [ip](GablesEvaluator &ev, double i) {
+            ev.setIntensity(ip, i);
+            return ev.attainable();
         },
         jobs, stats);
 }
@@ -92,12 +140,11 @@ Sweep::acceleration(const SocSpec &soc, const Usecase &usecase, size_t ip,
 {
     if (ip == 0)
         fatal("cannot sweep A0: the paper fixes A0 = 1");
-    return fill(
-        "A[" + std::to_string(ip) + "] sweep", values,
-        [&](double a) {
-            return GablesModel::evaluate(soc.withIpAcceleration(ip, a),
-                                         usecase)
-                .attainable;
+    return fillWith(
+        "A[" + std::to_string(ip) + "] sweep", soc, usecase, values,
+        [ip](GablesEvaluator &ev, double a) {
+            ev.setAcceleration(ip, a);
+            return ev.attainable();
         },
         jobs, stats);
 }
@@ -107,12 +154,11 @@ Sweep::ipBandwidth(const SocSpec &soc, const Usecase &usecase, size_t ip,
                    const std::vector<double> &values, int jobs,
                    parallel::ForStats *stats)
 {
-    return fill(
-        "B[" + std::to_string(ip) + "] sweep", values,
-        [&](double b) {
-            return GablesModel::evaluate(soc.withIpBandwidth(ip, b),
-                                         usecase)
-                .attainable;
+    return fillWith(
+        "B[" + std::to_string(ip) + "] sweep", soc, usecase, values,
+        [ip](GablesEvaluator &ev, double b) {
+            ev.setIpBandwidth(ip, b);
+            return ev.attainable();
         },
         jobs, stats);
 }

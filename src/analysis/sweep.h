@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "core/evaluator.h"
 #include "core/gables.h"
 #include "parallel/parallel_for.h"
 
@@ -37,6 +38,13 @@ struct Series {
  * surface from the lowest failing index, exactly as a serial loop.
  * When @p stats is non-null it receives the worker count and
  * per-worker busy time for telemetry RunReports.
+ *
+ * The model drivers (mixing, bpeak, intensity, acceleration,
+ * ipBandwidth) run on per-worker GablesEvaluator instances: the
+ * (SoC, usecase) pair is compiled once per worker and each grid
+ * point updates a single parameter, instead of rebuilding a spec
+ * copy and re-deriving every term per point. Results are
+ * bit-identical to the per-point GablesModel::evaluate() path.
  */
 class Sweep
 {
@@ -114,6 +122,18 @@ class Sweep
     static Series fill(std::string label, const std::vector<double> &xs,
                        const std::function<double(double)> &evaluate,
                        int jobs, parallel::ForStats *stats);
+
+    /**
+     * Evaluator-backed grid driver: compiles (soc, seed) once per
+     * pool worker and runs y[i] = point(evaluator, xs[i]) with the
+     * worker's evaluator, so each point mutates one parameter
+     * instead of rebuilding the pair.
+     */
+    static Series
+    fillWith(std::string label, const SocSpec &soc, const Usecase &seed,
+             const std::vector<double> &xs,
+             const std::function<double(GablesEvaluator &, double)> &point,
+             int jobs, parallel::ForStats *stats);
 };
 
 } // namespace gables

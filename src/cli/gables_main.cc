@@ -239,6 +239,7 @@ cmdSweep(int argc, const char *const *argv)
         fatal("--points must be in [2, 1000000]");
     int jobs = resolveJobs(args);
     std::vector<double> fractions;
+    fractions.reserve(static_cast<size_t>(n));
     for (long i = 0; i < n; ++i)
         fractions.push_back(static_cast<double>(i) / (n - 1));
     parallel::ForStats pstats;
@@ -266,6 +267,11 @@ cmdSweep(int argc, const char *const *argv)
         for (size_t i = 0; i < series.x.size(); ++i)
             ts.sample(series.x[i], series.y[i]);
 
+        // One evaluation per grid point plus the f = 0 normalization
+        // baseline.
+        reg.counter("model.evals",
+                    "Gables model evaluations performed by the sweep")
+            .add(static_cast<double>(n + 1));
         recordParallelStats(reg, pstats);
 
         telemetry::RunReport report("gables sweep", soc.name());
@@ -742,9 +748,16 @@ cmdExplore(int argc, const char *const *argv)
     args.addOption("metrics",
                    "write a run-report JSON with the frontier to "
                    "this path");
+    args.addFlag("prune",
+                 "skip grid regions whose best corner is dominated "
+                 "(default; the frontier is identical either way)");
+    args.addFlag("no-prune",
+                 "evaluate every design in the grid cross product");
     addJobsOption(args);
     if (!args.parse(argc, argv, std::cerr))
         return usageExit(args);
+    if (args.has("prune") && args.has("no-prune"))
+        fatal("--prune and --no-prune are mutually exclusive");
 
     SocSpec base = SocCatalog::snapdragon835Full();
     std::string name = args.getString("usecase", "capture");
@@ -782,11 +795,13 @@ cmdExplore(int argc, const char *const *argv)
         bpeaks.push_back(15e9 + i * 15e9);
     explorer.sweepBpeak(bpeaks);
     int jobs = resolveJobs(args);
-    parallel::ForStats pstats;
-    auto candidates = explorer.explore(jobs, &pstats);
-    auto frontier = DesignExplorer::frontier(candidates);
+    ExploreOptions opts;
+    opts.jobs = jobs;
+    opts.prune = !args.has("no-prune");
+    ExploreStats estats;
+    auto frontier = explorer.exploreFrontier(opts, &estats);
 
-    std::cout << "explored " << candidates.size()
+    std::cout << "explored " << explorer.gridSize()
               << " designs for '" << name << "'; frontier:\n";
     TextTable t({"Bpeak", "perf", "cost"});
     for (const Candidate &c : frontier) {
@@ -799,17 +814,27 @@ cmdExplore(int argc, const char *const *argv)
     if (args.has("metrics")) {
         telemetry::StatsRegistry reg;
         reg.counter("explorer.candidates",
-                    "designs evaluated over the knob cross product")
-            .add(static_cast<double>(candidates.size()));
+                    "designs in the knob cross product")
+            .add(static_cast<double>(explorer.gridSize()));
         reg.counter("explorer.pareto",
                     "designs on the Pareto frontier")
             .add(static_cast<double>(frontier.size()));
+        reg.counter("model.evals",
+                    "Gables model evaluations performed, including "
+                    "subgrid bound probes")
+            .add(static_cast<double>(estats.evals));
+        reg.counter("model.evals_pruned",
+                    "model evaluations skipped via subgrid bounds")
+            .add(static_cast<double>(estats.evalsPruned));
+        reg.counter("model.subgrids_skipped",
+                    "grid regions skipped whole by bound pruning")
+            .add(static_cast<double>(estats.subgridsSkipped));
         telemetry::TimeSeries &ts = reg.timeSeries(
             "explorer.frontier.perf_vs_cost",
             "frontier minimum attainable ops/s keyed by design cost");
         for (const Candidate &c : frontier)
             ts.sample(c.cost, c.minPerf);
-        recordParallelStats(reg, pstats);
+        recordParallelStats(reg, estats.forStats);
 
         telemetry::RunReport report("gables explore", base.name());
         report.addConfig("usecase", name);

@@ -1,0 +1,269 @@
+#include "core/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace gables {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+} // namespace
+
+GablesEvaluator::GablesEvaluator(const SocSpec &soc,
+                                 const Usecase &usecase)
+{
+    // The same pair check every GablesModel entry point performs,
+    // paid once at compile time instead of per grid point.
+    soc.validate();
+    usecase.validate();
+    if (usecase.numIps() != soc.numIps())
+        fatal("usecase '" + usecase.name() + "' has " +
+              std::to_string(usecase.numIps()) +
+              " IP entries but SoC '" + soc.name() + "' has " +
+              std::to_string(soc.numIps()) + " IPs");
+
+    n_ = soc.numIps();
+    ppeak_ = soc.ppeak();
+    bpeak_ = soc.bpeak();
+    accel_.resize(n_);
+    bandwidth_.resize(n_);
+    fraction_.resize(n_);
+    intensity_.resize(n_);
+    peak_.resize(n_);
+    computeTime_.resize(n_);
+    dataBytes_.resize(n_);
+    transferTime_.resize(n_);
+    time_.resize(n_);
+    perfBound_.resize(n_);
+
+    for (size_t i = 0; i < n_; ++i) {
+        const IpSpec &ip = soc.ip(i);
+        const IpWork &w = usecase.at(i);
+        accel_[i] = ip.acceleration;
+        bandwidth_[i] = ip.bandwidth;
+        fraction_[i] = w.fraction;
+        intensity_[i] = w.intensity;
+        peak_[i] = ip.acceleration * ppeak_;
+        recomputeLane(i);
+    }
+}
+
+void
+GablesEvaluator::checkIp(size_t i) const
+{
+    if (i >= n_)
+        fatal("evaluator: IP index " + std::to_string(i) +
+              " out of range (N=" + std::to_string(n_) + ")");
+}
+
+void
+GablesEvaluator::recomputeLane(size_t i)
+{
+    // Exactly the arithmetic of GablesModel::evaluate(): same
+    // operands, same operations, so the cached lane is bit-identical
+    // to what a from-scratch evaluation would compute.
+    double f = fraction_[i];
+    if (f > 0.0) {
+        computeTime_[i] = f / peak_[i];
+        dataBytes_[i] =
+            std::isinf(intensity_[i]) ? 0.0 : f / intensity_[i];
+        transferTime_[i] = dataBytes_[i] / bandwidth_[i];
+        time_[i] = std::max(transferTime_[i], computeTime_[i]);
+        perfBound_[i] = 1.0 / time_[i];
+    } else {
+        // No work at this IP: no time, no traffic, unbounded scaled
+        // roofline.
+        computeTime_[i] = 0.0;
+        dataBytes_[i] = 0.0;
+        transferTime_[i] = 0.0;
+        time_[i] = 0.0;
+        perfBound_[i] = kInf;
+    }
+    totalsDirty_ = true;
+}
+
+void
+GablesEvaluator::refresh()
+{
+    if (!totalsDirty_)
+        return;
+    // Reduce in index order: the sum visits the same operands in the
+    // same order as the legacy loop, so the bits match.
+    double total = 0.0;
+    double max_time = 0.0;
+    for (size_t i = 0; i < n_; ++i) {
+        total += dataBytes_[i];
+        max_time = std::max(max_time, time_[i]);
+    }
+    totalBytes_ = total;
+    maxIpTime_ = max_time;
+    totalsDirty_ = false;
+}
+
+void
+GablesEvaluator::setPpeak(double ppeak)
+{
+    if (!(ppeak > 0.0) || std::isinf(ppeak))
+        fatal("evaluator: Ppeak must be positive and finite");
+    ppeak_ = ppeak;
+    for (size_t i = 0; i < n_; ++i) {
+        peak_[i] = accel_[i] * ppeak_;
+        recomputeLane(i);
+    }
+}
+
+void
+GablesEvaluator::setBpeak(double bpeak)
+{
+    if (!(bpeak > 0.0) || std::isinf(bpeak))
+        fatal("evaluator: Bpeak must be positive and finite");
+    // The memory time is derived from bpeak_ at evaluation, so no
+    // lane changes.
+    bpeak_ = bpeak;
+}
+
+void
+GablesEvaluator::setAcceleration(size_t i, double acceleration)
+{
+    checkIp(i);
+    if (!(acceleration > 0.0) || std::isinf(acceleration))
+        fatal("evaluator: IP[" + std::to_string(i) +
+              "] acceleration must be positive and finite");
+    if (i == 0 && acceleration != 1.0)
+        fatal("evaluator: IP[0] acceleration A0 must be 1 "
+              "(paper Section III-D)");
+    accel_[i] = acceleration;
+    peak_[i] = acceleration * ppeak_;
+    recomputeLane(i);
+}
+
+void
+GablesEvaluator::setIpBandwidth(size_t i, double bandwidth)
+{
+    checkIp(i);
+    if (!(bandwidth > 0.0) || std::isinf(bandwidth))
+        fatal("evaluator: IP[" + std::to_string(i) +
+              "] bandwidth must be positive and finite");
+    bandwidth_[i] = bandwidth;
+    recomputeLane(i);
+}
+
+void
+GablesEvaluator::setFraction(size_t i, double fraction)
+{
+    checkIp(i);
+    if (!(fraction >= 0.0) || std::isinf(fraction))
+        fatal("evaluator: fraction f[" + std::to_string(i) +
+              "] must be in [0, 1]");
+    if (fraction > 0.0 && !(intensity_[i] > 0.0))
+        fatal("evaluator: intensity I[" + std::to_string(i) +
+              "] must be > 0 where work is assigned");
+    fraction_[i] = fraction;
+    recomputeLane(i);
+}
+
+void
+GablesEvaluator::setIntensity(size_t i, double intensity)
+{
+    checkIp(i);
+    if (fraction_[i] > 0.0 && !(intensity > 0.0))
+        fatal("evaluator: intensity I[" + std::to_string(i) +
+              "] must be > 0 where work is assigned");
+    intensity_[i] = intensity;
+    recomputeLane(i);
+}
+
+void
+GablesEvaluator::setWork(size_t i, double fraction, double intensity)
+{
+    checkIp(i);
+    if (!(fraction >= 0.0) || std::isinf(fraction))
+        fatal("evaluator: fraction f[" + std::to_string(i) +
+              "] must be in [0, 1]");
+    if (fraction > 0.0 && !(intensity > 0.0))
+        fatal("evaluator: intensity I[" + std::to_string(i) +
+              "] must be > 0 where work is assigned");
+    fraction_[i] = fraction;
+    intensity_[i] = intensity;
+    recomputeLane(i);
+}
+
+double
+GablesEvaluator::criticalTime()
+{
+    refresh();
+    double max_time = std::max(maxIpTime_, totalBytes_ / bpeak_);
+    GABLES_ASSERT(max_time > 0.0,
+                  "usecase produced zero total time; Ppeak infinite?");
+    return max_time;
+}
+
+double
+GablesEvaluator::attainable()
+{
+    ++evals_;
+    return 1.0 / criticalTime();
+}
+
+void
+GablesEvaluator::evaluate(GablesResult &out)
+{
+    ++evals_;
+    refresh();
+
+    out.ips.resize(n_);
+    for (size_t i = 0; i < n_; ++i) {
+        IpTiming &t = out.ips[i];
+        t.computeTime = computeTime_[i];
+        t.dataBytes = dataBytes_[i];
+        t.transferTime = transferTime_[i];
+        t.time = time_[i];
+        t.perfBound = perfBound_[i];
+    }
+
+    out.totalDataBytes = totalBytes_;
+    out.memoryTime = totalBytes_ / bpeak_;
+    // totalBytes_ carries the same bits as Usecase::bytesPerOp()
+    // (adding the +0.0 of inactive lanes is exact), so this matches
+    // usecase.averageIntensity().
+    out.averageIntensity = totalBytes_ == 0.0 ? kInf : 1.0 / totalBytes_;
+    out.memoryPerfBound =
+        out.memoryTime > 0.0 ? 1.0 / out.memoryTime : kInf;
+
+    double max_time = std::max(maxIpTime_, out.memoryTime);
+    GABLES_ASSERT(max_time > 0.0,
+                  "usecase produced zero total time; Ppeak infinite?");
+    out.attainable = 1.0 / max_time;
+
+    // Bottleneck attribution: memory wins ties, then lowest IP index
+    // — the same deterministic contract as GablesModel::evaluate().
+    if (out.memoryTime >= max_time) {
+        out.bottleneckIp = -1;
+        out.bottleneck = BottleneckKind::Memory;
+    } else {
+        for (size_t i = 0; i < n_; ++i) {
+            if (time_[i] >= max_time) {
+                out.bottleneckIp = static_cast<int>(i);
+                out.bottleneck = computeTime_[i] >= transferTime_[i]
+                                     ? BottleneckKind::IpCompute
+                                     : BottleneckKind::IpBandwidth;
+                break;
+            }
+        }
+    }
+}
+
+GablesResult
+GablesEvaluator::evaluate()
+{
+    GablesResult out;
+    evaluate(out);
+    return out;
+}
+
+} // namespace gables

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Compiled evaluation of the base Gables model for grid-scale
+ * workloads (sweeps, design-space exploration, sensitivity and
+ * robustness sampling, advisor bisection).
+ *
+ * GablesModel::evaluate() re-validates its inputs, re-derives every
+ * per-IP term, and heap-allocates a GablesResult on every call; the
+ * callers above additionally rebuild a SocSpec or Usecase copy per
+ * grid point just to change one number. GablesEvaluator precompiles
+ * a (SocSpec, Usecase) pair once into flat structure-of-arrays
+ * state, caches the per-IP timing lanes, and exposes
+ * single-parameter mutators so a grid axis updates one term instead
+ * of rebuilding the pair. Evaluation then reduces the cached lanes
+ * — zero allocations in steady state, and every number is
+ * bit-identical to the legacy path because each lane is computed
+ * with exactly the same expressions and the reductions run in the
+ * same index order (verified exhaustively by property tests).
+ *
+ * Thread-safety: an evaluator is mutable state; use one instance per
+ * worker (the parallel drivers build one per pool worker).
+ */
+
+#ifndef GABLES_CORE_EVALUATOR_H
+#define GABLES_CORE_EVALUATOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/gables.h"
+
+namespace gables {
+
+/**
+ * A precompiled (SocSpec, Usecase) pair with cheap single-parameter
+ * mutators and allocation-free evaluation.
+ */
+class GablesEvaluator
+{
+  public:
+    /**
+     * Compile the pair. Validates both once (the same checks every
+     * GablesModel::evaluate() call performs) and caches all per-IP
+     * timing lanes.
+     *
+     * @throws FatalError on mismatched sizes or invalid specs.
+     */
+    GablesEvaluator(const SocSpec &soc, const Usecase &usecase);
+
+    /** @return Number of IPs N. */
+    size_t numIps() const { return n_; }
+
+    /** @name Current parameter values (for save/restore patterns). */
+    /** @{ */
+    double ppeak() const { return ppeak_; }
+    double bpeak() const { return bpeak_; }
+    double acceleration(size_t i) const { return accel_.at(i); }
+    double ipBandwidth(size_t i) const { return bandwidth_.at(i); }
+    double fraction(size_t i) const { return fraction_.at(i); }
+    double intensity(size_t i) const { return intensity_.at(i); }
+    /** @} */
+
+    /**
+     * @name Single-parameter mutators
+     *
+     * Each updates one model term and recomputes only the affected
+     * timing lane(s). Values are checked with the same invariants the
+     * SocSpec/Usecase constructors enforce (positive finite hardware
+     * parameters, non-negative fractions, positive intensity wherever
+     * work is assigned); the fractions-sum-to-one invariant is the
+     * caller's contract, since grid drivers set several fractions in
+     * sequence.
+     */
+    /** @{ */
+    /** Replace the baseline peak performance Ppeak (rescales every
+     * IP's compute roof). */
+    void setPpeak(double ppeak);
+    /** Replace the off-chip bandwidth Bpeak. */
+    void setBpeak(double bpeak);
+    /** Replace IP @p i's acceleration Ai (A0 must stay 1). */
+    void setAcceleration(size_t i, double acceleration);
+    /** Replace IP @p i's link bandwidth Bi. */
+    void setIpBandwidth(size_t i, double bandwidth);
+    /** Replace the work fraction fi at IP @p i. */
+    void setFraction(size_t i, double fraction);
+    /** Replace the operational intensity Ii at IP @p i. */
+    void setIntensity(size_t i, double intensity);
+    /** Replace both work terms of IP @p i in one lane recompute. */
+    void setWork(size_t i, double fraction, double intensity);
+    /** @} */
+
+    /**
+     * Scalar fast path: attainable performance only (paper Eq. 11),
+     * without bottleneck attribution or per-IP detail.
+     * Bit-identical to GablesModel::evaluate(...).attainable.
+     */
+    double attainable();
+
+    /**
+     * Full evaluation into a caller-owned scratch result. Reusing
+     * the same scratch across grid points performs no allocations
+     * after the first call. Every field matches
+     * GablesModel::evaluate() bit-for-bit.
+     */
+    void evaluate(GablesResult &out);
+
+    /** Convenience overload allocating a fresh result. */
+    GablesResult evaluate();
+
+    /**
+     * @return Number of attainable()/evaluate() calls served, for
+     * the model.evals telemetry counters (sum per-worker counts; the
+     * total is scheduling-independent).
+     */
+    uint64_t evalCount() const { return evals_; }
+
+  private:
+    /** Recompute the cached timing lane of IP @p i with the exact
+     * legacy expressions. */
+    void recomputeLane(size_t i);
+    /** Re-reduce totalBytes_ / maxIpTime_ if a lane changed. */
+    void refresh();
+    /** @return max over IP times and the memory time — the critical
+     * time 1/Pattainable. */
+    double criticalTime();
+    void checkIp(size_t i) const;
+
+    size_t n_ = 0;
+    double ppeak_ = 0.0;
+    double bpeak_ = 0.0;
+
+    // Hardware and software inputs, index-aligned with the IPs.
+    std::vector<double> accel_;
+    std::vector<double> bandwidth_;
+    std::vector<double> fraction_;
+    std::vector<double> intensity_;
+
+    // Hoisted invariants: peak_[i] = Ai * Ppeak, computed with the
+    // same product SocSpec::ipPeakPerf() evaluates.
+    std::vector<double> peak_;
+
+    // Cached per-IP timing lanes (the IpTiming fields).
+    std::vector<double> computeTime_;
+    std::vector<double> dataBytes_;
+    std::vector<double> transferTime_;
+    std::vector<double> time_;
+    std::vector<double> perfBound_;
+
+    // Cached reductions over the lanes.
+    double totalBytes_ = 0.0;
+    double maxIpTime_ = 0.0;
+    bool totalsDirty_ = true;
+
+    uint64_t evals_ = 0;
+};
+
+} // namespace gables
+
+#endif // GABLES_CORE_EVALUATOR_H

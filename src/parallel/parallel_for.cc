@@ -182,9 +182,8 @@ ThreadPool::forEach(size_t n,
         std::rethrow_exception(first->exception);
 }
 
-ForStats
-parallelFor(size_t n, const std::function<void(size_t, int)> &body,
-            const ForOptions &opts)
+int
+plannedWorkers(size_t n, const ForOptions &opts)
 {
     if (opts.jobs < 0)
         fatal("parallelFor: jobs must be >= 0 (0 = hardware "
@@ -196,6 +195,14 @@ parallelFor(size_t n, const std::function<void(size_t, int)> &body,
     // the calling worker; don't spawn a pool that would sit idle.
     if (tls_inside_loop)
         jobs = 1;
+    return jobs;
+}
+
+ForStats
+parallelFor(size_t n, const std::function<void(size_t, int)> &body,
+            const ForOptions &opts)
+{
+    int jobs = plannedWorkers(n, opts);
 
     ThreadPool pool(jobs);
     pool.forEach(n, body, opts.minChunk);

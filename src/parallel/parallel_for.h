@@ -40,6 +40,17 @@ namespace parallel {
 /** @return max(1, std::thread::hardware_concurrency()). */
 int defaultJobs();
 
+struct ForOptions;
+
+/**
+ * The worker count parallelFor(n, ..., opts) will actually use,
+ * including the clamp to n and the nested-loop inline fallback.
+ * Callers that keep per-worker state (e.g. one model evaluator per
+ * worker) size their state arrays with this before dispatching; the
+ * worker index passed to the body is always below it.
+ */
+int plannedWorkers(size_t n, const ForOptions &opts);
+
 /** Tuning knobs for a parallel loop. */
 struct ForOptions {
     /** Worker count: 0 = defaultJobs(), 1 = legacy serial path. */

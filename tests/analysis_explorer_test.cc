@@ -6,9 +6,15 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "analysis/explorer.h"
 #include "soc/catalog.h"
 #include "util/logging.h"
+#include "util/rng.h"
 
 namespace gables {
 namespace {
@@ -170,6 +176,209 @@ TEST(Explorer, InvalidInputsRejected)
     DesignExplorer ex(base, {u}, simpleCost());
     EXPECT_THROW(ex.sweepBpeak({}), FatalError);
     EXPECT_THROW(ex.sweepAcceleration(0, {2.0}), FatalError);
+}
+
+// ---------------------------------------------------------------
+// exploreFrontier(): the pruned fast path must reproduce
+// frontier(explore()) exactly — member set, every field, and order.
+// ---------------------------------------------------------------
+
+uint64_t
+bitsOf(double v)
+{
+    return std::bit_cast<uint64_t>(v);
+}
+
+void
+expectSameFrontier(const std::vector<Candidate> &fast,
+                   const std::vector<Candidate> &reference,
+                   const std::string &what)
+{
+    ASSERT_EQ(fast.size(), reference.size()) << what;
+    for (size_t i = 0; i < fast.size(); ++i) {
+        EXPECT_EQ(bitsOf(fast[i].minPerf), bitsOf(reference[i].minPerf))
+            << what << " member " << i;
+        EXPECT_EQ(bitsOf(fast[i].cost), bitsOf(reference[i].cost))
+            << what << " member " << i;
+        EXPECT_TRUE(fast[i].pareto) << what << " member " << i;
+        EXPECT_EQ(bitsOf(fast[i].soc.bpeak()),
+                  bitsOf(reference[i].soc.bpeak()))
+            << what << " member " << i;
+        ASSERT_EQ(fast[i].soc.numIps(), reference[i].soc.numIps());
+        for (size_t j = 0; j < fast[i].soc.numIps(); ++j) {
+            EXPECT_EQ(bitsOf(fast[i].soc.ip(j).acceleration),
+                      bitsOf(reference[i].soc.ip(j).acceleration))
+                << what << " member " << i << " ip " << j;
+            EXPECT_EQ(bitsOf(fast[i].soc.ip(j).bandwidth),
+                      bitsOf(reference[i].soc.ip(j).bandwidth))
+                << what << " member " << i << " ip " << j;
+        }
+        ASSERT_EQ(fast[i].perUsecase.size(),
+                  reference[i].perUsecase.size());
+        for (size_t u = 0; u < fast[i].perUsecase.size(); ++u)
+            EXPECT_EQ(bitsOf(fast[i].perUsecase[u]),
+                      bitsOf(reference[i].perUsecase[u]))
+                << what << " member " << i << " usecase " << u;
+    }
+}
+
+/** A two-knob 64x64 grid over the paper SoC with two usecases. */
+DesignExplorer
+gridExplorer()
+{
+    SocSpec base = SocCatalog::paperTwoIp();
+    Usecase a = Usecase::twoIp("a", 0.75, 8.0, 0.5);
+    Usecase b = Usecase::twoIp("b", 0.25, 2.0, 16.0);
+    DesignExplorer ex(base, {a, b}, simpleCost());
+    std::vector<double> bpeaks, accels;
+    for (int i = 0; i < 64; ++i) {
+        bpeaks.push_back((i + 1) * 1.5e9);
+        accels.push_back(1.0 + i * 0.75);
+    }
+    ex.sweepBpeak(bpeaks);
+    ex.sweepAcceleration(1, accels);
+    return ex;
+}
+
+TEST(ExploreFrontier, PrunedMatchesUnprunedOnLargeGrid)
+{
+    DesignExplorer ex = gridExplorer();
+    auto reference = DesignExplorer::frontier(ex.explore());
+
+    ExploreOptions opts;
+    ExploreStats stats;
+    auto fast = ex.exploreFrontier(opts, &stats);
+    expectSameFrontier(fast, reference, "pruned");
+
+    // The 64x64 grid must actually exercise the pruning machinery.
+    EXPECT_GT(stats.subgridsSkipped, 0u);
+    EXPECT_GT(stats.evalsPruned, 0u);
+    EXPECT_LT(stats.evals,
+              static_cast<uint64_t>(ex.gridSize()) * 2);
+}
+
+TEST(ExploreFrontier, DisabledPruningAlsoMatches)
+{
+    DesignExplorer ex = gridExplorer();
+    auto reference = DesignExplorer::frontier(ex.explore());
+
+    ExploreOptions opts;
+    opts.prune = false;
+    ExploreStats stats;
+    auto fast = ex.exploreFrontier(opts, &stats);
+    expectSameFrontier(fast, reference, "no-prune");
+    EXPECT_EQ(stats.subgridsSkipped, 0u);
+    EXPECT_EQ(stats.evalsPruned, 0u);
+    // All designs evaluated for both usecases, plus the frontier
+    // re-materialization.
+    EXPECT_EQ(stats.evals,
+              static_cast<uint64_t>(ex.gridSize()) * 2 +
+                  fast.size() * 2);
+}
+
+TEST(ExploreFrontier, JobsInvariance)
+{
+    DesignExplorer ex = gridExplorer();
+    ExploreOptions serial;
+    auto one = ex.exploreFrontier(serial);
+
+    ExploreOptions parallel_opts;
+    parallel_opts.jobs = 0; // hardware concurrency
+    auto many = ex.exploreFrontier(parallel_opts);
+    expectSameFrontier(many, one, "jobs");
+}
+
+TEST(ExploreFrontier, SubgridSizeInvariance)
+{
+    DesignExplorer ex = gridExplorer();
+    auto reference = DesignExplorer::frontier(ex.explore());
+    for (size_t subgrid : {1u, 7u, 64u, 1000u, 100000u}) {
+        ExploreOptions opts;
+        opts.subgridSize = subgrid;
+        auto fast = ex.exploreFrontier(opts);
+        expectSameFrontier(fast, reference,
+                           "subgrid " + std::to_string(subgrid));
+    }
+}
+
+TEST(ExploreFrontier, RandomizedGridsMatchUnpruned)
+{
+    for (uint64_t seed = 0; seed < 12; ++seed) {
+        Rng rng(seed);
+        SocSpec base = SocCatalog::paperTwoIp();
+        Usecase a = Usecase::twoIp("a", rng.uniform(0.05, 0.95),
+                                   rng.logUniform(0.1, 64.0),
+                                   rng.logUniform(0.1, 64.0));
+        Usecase b = Usecase::twoIp("b", rng.uniform(0.05, 0.95),
+                                   rng.logUniform(0.1, 64.0),
+                                   rng.logUniform(0.1, 64.0));
+        CostModel cost;
+        cost.costPerAcceleration = rng.logUniform(0.1, 10.0);
+        cost.costPerBpeak = rng.logUniform(1e-10, 1e-8);
+        cost.costPerIpBandwidth =
+            rng.uniformInt(0, 1) ? rng.logUniform(1e-10, 1e-9) : 0.0;
+        DesignExplorer ex(base, {a, b}, cost);
+
+        std::vector<double> bpeaks, accels, bands;
+        size_t nb = static_cast<size_t>(rng.uniformInt(2, 17));
+        size_t na = static_cast<size_t>(rng.uniformInt(2, 17));
+        size_t nw = static_cast<size_t>(rng.uniformInt(2, 9));
+        for (size_t i = 0; i < nb; ++i)
+            bpeaks.push_back(rng.logUniform(1e9, 1e11));
+        for (size_t i = 0; i < na; ++i)
+            accels.push_back(rng.logUniform(1.0, 50.0));
+        for (size_t i = 0; i < nw; ++i)
+            bands.push_back(rng.logUniform(1e9, 1e11));
+        ex.sweepBpeak(bpeaks);
+        ex.sweepAcceleration(1, accels);
+        ex.sweepIpBandwidth(0, bands);
+
+        auto reference = DesignExplorer::frontier(ex.explore());
+        ExploreOptions opts;
+        opts.subgridSize = static_cast<size_t>(rng.uniformInt(4, 96));
+        auto fast = ex.exploreFrontier(opts);
+        expectSameFrontier(fast, reference,
+                           "seed " + std::to_string(seed));
+    }
+}
+
+TEST(ExploreFrontier, DuplicateKnobTargetsFallBack)
+{
+    // Two sweeps over the same parameter: the later application wins
+    // per design, so per-knob bounds are invalid and the explorer
+    // must silently disable pruning rather than mis-prune.
+    SocSpec base = SocCatalog::paperTwoIp();
+    Usecase u = Usecase::twoIp("u", 0.75, 8.0, 0.5);
+    DesignExplorer ex(base, {u}, simpleCost());
+    std::vector<double> bpeaks;
+    for (int i = 0; i < 40; ++i)
+        bpeaks.push_back((i + 1) * 2e9);
+    ex.sweepBpeak(bpeaks);
+    ex.sweepBpeak({5e9, 50e9});
+
+    auto reference = DesignExplorer::frontier(ex.explore());
+    ExploreOptions opts;
+    opts.subgridSize = 8;
+    ExploreStats stats;
+    auto fast = ex.exploreFrontier(opts, &stats);
+    expectSameFrontier(fast, reference, "duplicate knobs");
+    EXPECT_EQ(stats.subgridsSkipped, 0u);
+    EXPECT_EQ(stats.evalsPruned, 0u);
+}
+
+TEST(ExploreFrontier, StatsAccounting)
+{
+    DesignExplorer ex = gridExplorer();
+    ExploreStats stats;
+    auto frontier = ex.exploreFrontier({}, &stats);
+    const uint64_t n_use = 2;
+    const uint64_t total = ex.gridSize() * n_use;
+    // Every design is either evaluated or pruned; probes and frontier
+    // re-materialization come on top of the evaluated share.
+    EXPECT_GE(stats.evals + stats.evalsPruned,
+              total + frontier.size() * n_use);
+    EXPECT_LE(stats.evalsPruned, total);
+    EXPECT_GE(stats.forStats.workers, 1);
 }
 
 } // namespace

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/sweep.h"
+#include "core/gables.h"
 #include "soc/catalog.h"
 #include "util/logging.h"
 
@@ -107,6 +108,82 @@ TEST(IpBandwidthSweep, Monotone)
                                   {1e9, 5e9, 15e9, 50e9});
     for (size_t i = 1; i < s.y.size(); ++i)
         EXPECT_GE(s.y[i], s.y[i - 1]);
+}
+
+// The evaluator-backed drivers must reproduce a direct legacy loop
+// (one GablesModel::evaluate() per rebuilt spec) bit-for-bit, both
+// serial and parallel.
+TEST(SweepBitIdentity, DriversMatchLegacyLoop)
+{
+    SocSpec soc = SocCatalog::paperTwoIp();
+    Usecase u = Usecase::twoIp("u", 0.75, 8.0, 0.1);
+    std::vector<double> bpeaks = {5e9, 10e9, 20e9, 40e9, 80e9};
+    std::vector<double> accels = {1.0, 2.5, 5.0, 50.0};
+    std::vector<double> bands = {1e9, 5e9, 15e9, 50e9};
+    std::vector<double> intensities = {0.05, 0.1, 1.0, 8.0, 64.0};
+
+    for (int jobs : {1, 0}) {
+        Series s = Sweep::bpeak(soc, u, bpeaks, jobs);
+        for (size_t i = 0; i < bpeaks.size(); ++i)
+            EXPECT_EQ(s.y[i],
+                      GablesModel::evaluate(soc.withBpeak(bpeaks[i]), u)
+                          .attainable)
+                << "bpeak jobs " << jobs << " i " << i;
+
+        s = Sweep::acceleration(soc, u, 1, accels, jobs);
+        for (size_t i = 0; i < accels.size(); ++i)
+            EXPECT_EQ(
+                s.y[i],
+                GablesModel::evaluate(soc.withIpAcceleration(1,
+                                                             accels[i]),
+                                      u)
+                    .attainable)
+                << "accel jobs " << jobs << " i " << i;
+
+        s = Sweep::ipBandwidth(soc, u, 1, bands, jobs);
+        for (size_t i = 0; i < bands.size(); ++i)
+            EXPECT_EQ(
+                s.y[i],
+                GablesModel::evaluate(soc.withIpBandwidth(1, bands[i]),
+                                      u)
+                    .attainable)
+                << "band jobs " << jobs << " i " << i;
+
+        s = Sweep::intensity(soc, u, 1, intensities, jobs);
+        for (size_t i = 0; i < intensities.size(); ++i)
+            EXPECT_EQ(
+                s.y[i],
+                GablesModel::evaluate(
+                    soc, u.withWork(1, IpWork{u.fraction(1),
+                                              intensities[i]}))
+                    .attainable)
+                << "intensity jobs " << jobs << " i " << i;
+    }
+}
+
+TEST(SweepBitIdentity, MixingMatchesLegacyLoop)
+{
+    SocSpec soc = SocCatalog::snapdragon835();
+    std::vector<double> fractions = eighths();
+    auto usecase_for = [&](double f) {
+        std::vector<IpWork> work(soc.numIps());
+        work[0] = IpWork{1.0 - f, 4.0};
+        work[1] = IpWork{f, 32.0};
+        for (size_t i = 2; i < work.size(); ++i)
+            work[i] = IpWork{0.0, 1.0};
+        return Usecase("mixing", std::move(work));
+    };
+    for (int jobs : {1, 0}) {
+        Series s = Sweep::mixing(soc, 4.0, 32.0, fractions, true, jobs);
+        double base =
+            GablesModel::evaluate(soc, usecase_for(0.0)).attainable;
+        for (size_t i = 0; i < fractions.size(); ++i)
+            EXPECT_EQ(s.y[i],
+                      GablesModel::evaluate(soc, usecase_for(fractions[i]))
+                              .attainable /
+                          base)
+                << "jobs " << jobs << " i " << i;
+    }
 }
 
 TEST(CustomSweep, AppliesCallback)

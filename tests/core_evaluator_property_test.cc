@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Property tests for GablesEvaluator: over randomized SoCs, usecases,
+ * and mutation sequences, the compiled evaluator must stay
+ * bit-identical to a from-scratch GablesModel::evaluate() of the
+ * equivalent (SocSpec, Usecase) pair — including idle (fi == 0) lanes
+ * and infinite-intensity (no-traffic) lanes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/gables.h"
+#include "util/rng.h"
+
+namespace gables {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+uint64_t
+bits(double v)
+{
+    return std::bit_cast<uint64_t>(v);
+}
+
+/** Mutable mirror of a (SocSpec, Usecase) pair that can be rebuilt
+ * from scratch for the legacy path after every mutation. */
+struct Pair {
+    double ppeak = 0.0;
+    double bpeak = 0.0;
+    std::vector<IpSpec> ips;
+    std::vector<IpWork> work;
+
+    SocSpec soc() const { return SocSpec("fuzz", ppeak, bpeak, ips); }
+    Usecase usecase() const { return Usecase("fuzz", work); }
+};
+
+Pair
+randomPair(Rng &rng)
+{
+    Pair p;
+    size_t n = static_cast<size_t>(rng.uniformInt(1, 8));
+    p.ppeak = rng.logUniform(1e9, 1e12);
+    p.bpeak = rng.logUniform(1e9, 1e11);
+    p.ips.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        IpSpec ip;
+        ip.name = "ip" + std::to_string(i);
+        ip.acceleration = i == 0 ? 1.0 : rng.logUniform(0.1, 100.0);
+        ip.bandwidth = rng.logUniform(1e8, 1e11);
+        p.ips.push_back(ip);
+    }
+    std::vector<double> f = rng.simplex(n);
+    p.work.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        IpWork w;
+        w.fraction = f[i];
+        // ~1 in 6 active lanes is pure compute (infinite intensity);
+        // intensities otherwise span five orders of magnitude.
+        w.intensity = rng.uniformInt(0, 5) == 0
+                          ? kInf
+                          : rng.logUniform(0.01, 1000.0);
+        p.work.push_back(w);
+    }
+    // Idle roughly a third of the lanes (but never all of them),
+    // handing their mass to the first surviving lane so the fractions
+    // still sum to the simplex total bit-for-bit.
+    for (size_t i = n; i-- > 1;) {
+        if (rng.uniformInt(0, 2) == 0 && p.work[i].fraction > 0.0) {
+            double moved = p.work[i].fraction;
+            p.work[i].fraction = 0.0;
+            p.work[i].intensity = 1.0;
+            p.work[0].fraction += moved;
+        }
+    }
+    return p;
+}
+
+void
+expectBitIdentical(const GablesResult &a, const GablesResult &b,
+                   uint64_t seed, int step)
+{
+    ASSERT_EQ(a.ips.size(), b.ips.size());
+    EXPECT_EQ(bits(a.attainable), bits(b.attainable))
+        << "seed " << seed << " step " << step;
+    EXPECT_EQ(bits(a.memoryTime), bits(b.memoryTime))
+        << "seed " << seed << " step " << step;
+    EXPECT_EQ(bits(a.memoryPerfBound), bits(b.memoryPerfBound))
+        << "seed " << seed << " step " << step;
+    EXPECT_EQ(bits(a.averageIntensity), bits(b.averageIntensity))
+        << "seed " << seed << " step " << step;
+    EXPECT_EQ(bits(a.totalDataBytes), bits(b.totalDataBytes))
+        << "seed " << seed << " step " << step;
+    EXPECT_EQ(a.bottleneckIp, b.bottleneckIp)
+        << "seed " << seed << " step " << step;
+    EXPECT_EQ(a.bottleneck, b.bottleneck)
+        << "seed " << seed << " step " << step;
+    for (size_t i = 0; i < a.ips.size(); ++i) {
+        EXPECT_EQ(bits(a.ips[i].computeTime), bits(b.ips[i].computeTime))
+            << "seed " << seed << " step " << step << " ip " << i;
+        EXPECT_EQ(bits(a.ips[i].dataBytes), bits(b.ips[i].dataBytes))
+            << "seed " << seed << " step " << step << " ip " << i;
+        EXPECT_EQ(bits(a.ips[i].transferTime),
+                  bits(b.ips[i].transferTime))
+            << "seed " << seed << " step " << step << " ip " << i;
+        EXPECT_EQ(bits(a.ips[i].time), bits(b.ips[i].time))
+            << "seed " << seed << " step " << step << " ip " << i;
+        EXPECT_EQ(bits(a.ips[i].perfBound), bits(b.ips[i].perfBound))
+            << "seed " << seed << " step " << step << " ip " << i;
+    }
+}
+
+TEST(EvaluatorProperty, FreshCompileMatchesLegacy)
+{
+    for (uint64_t seed = 0; seed < 400; ++seed) {
+        Rng rng(seed);
+        Pair p = randomPair(rng);
+        SocSpec soc = p.soc();
+        Usecase u = p.usecase();
+        GablesEvaluator ev(soc, u);
+        GablesResult legacy = GablesModel::evaluate(soc, u);
+        GablesResult fast;
+        ev.evaluate(fast);
+        expectBitIdentical(fast, legacy, seed, -1);
+        EXPECT_EQ(bits(ev.attainable()), bits(legacy.attainable))
+            << "seed " << seed;
+    }
+}
+
+TEST(EvaluatorProperty, MutationSequencesMatchRebuild)
+{
+    GablesResult fast; // reused scratch, as the grid drivers do
+    for (uint64_t seed = 1000; seed < 1100; ++seed) {
+        Rng rng(seed);
+        Pair p = randomPair(rng);
+        GablesEvaluator ev(p.soc(), p.usecase());
+        const size_t n = p.ips.size();
+
+        for (int step = 0; step < 40; ++step) {
+            // Apply one random mutation to both the evaluator and the
+            // mirror, then compare against a from-scratch rebuild.
+            switch (rng.uniformInt(0, 5)) {
+              case 0: {
+                p.ppeak = rng.logUniform(1e9, 1e12);
+                ev.setPpeak(p.ppeak);
+                break;
+              }
+              case 1: {
+                p.bpeak = rng.logUniform(1e9, 1e11);
+                ev.setBpeak(p.bpeak);
+                break;
+              }
+              case 2: {
+                if (n == 1)
+                    continue;
+                size_t i = static_cast<size_t>(
+                    rng.uniformInt(1, static_cast<int64_t>(n) - 1));
+                p.ips[i].acceleration = rng.logUniform(0.1, 100.0);
+                ev.setAcceleration(i, p.ips[i].acceleration);
+                break;
+              }
+              case 3: {
+                size_t i = static_cast<size_t>(
+                    rng.uniformInt(0, static_cast<int64_t>(n) - 1));
+                p.ips[i].bandwidth = rng.logUniform(1e8, 1e11);
+                ev.setIpBandwidth(i, p.ips[i].bandwidth);
+                break;
+              }
+              case 4: {
+                size_t i = static_cast<size_t>(
+                    rng.uniformInt(0, static_cast<int64_t>(n) - 1));
+                if (p.work[i].fraction == 0.0)
+                    continue;
+                p.work[i].intensity =
+                    rng.uniformInt(0, 5) == 0
+                        ? kInf
+                        : rng.logUniform(0.01, 1000.0);
+                ev.setIntensity(i, p.work[i].intensity);
+                break;
+              }
+              default: {
+                // Move half of lane i's work to lane j; the two-term
+                // transfer keeps the fraction sum unchanged modulo
+                // rounding the Usecase tolerance absorbs, and both
+                // paths see the exact same post-move doubles.
+                if (n == 1)
+                    continue;
+                size_t i = static_cast<size_t>(
+                    rng.uniformInt(0, static_cast<int64_t>(n) - 1));
+                size_t j = (i + 1) % n;
+                double moved = p.work[i].fraction * 0.5;
+                p.work[i].fraction -= moved;
+                p.work[j].fraction += moved;
+                if (p.work[j].fraction > 0.0 &&
+                    !(p.work[j].intensity > 0.0))
+                    p.work[j].intensity = 1.0;
+                ev.setWork(i, p.work[i].fraction, p.work[i].intensity);
+                ev.setWork(j, p.work[j].fraction, p.work[j].intensity);
+                break;
+              }
+            }
+            GablesResult legacy =
+                GablesModel::evaluate(p.soc(), p.usecase());
+            ev.evaluate(fast);
+            expectBitIdentical(fast, legacy, seed, step);
+            EXPECT_EQ(bits(ev.attainable()), bits(legacy.attainable))
+                << "seed " << seed << " step " << step;
+        }
+    }
+}
+
+} // namespace
+} // namespace gables

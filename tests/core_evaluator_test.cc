@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Unit tests for the compiled GablesEvaluator: bit-identity with the
+ * legacy GablesModel::evaluate() path, the attainable() fast path,
+ * every single-parameter mutator against a from-scratch rebuild,
+ * input validation, inactive and infinite-intensity lanes, and the
+ * evalCount telemetry hook.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "core/evaluator.h"
+#include "core/gables.h"
+#include "soc/catalog.h"
+#include "util/logging.h"
+
+namespace gables {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+uint64_t
+bits(double v)
+{
+    return std::bit_cast<uint64_t>(v);
+}
+
+/** Assert every field of two results matches bit-for-bit. */
+void
+expectBitIdentical(const GablesResult &a, const GablesResult &b)
+{
+    EXPECT_EQ(bits(a.attainable), bits(b.attainable));
+    EXPECT_EQ(bits(a.memoryTime), bits(b.memoryTime));
+    EXPECT_EQ(bits(a.memoryPerfBound), bits(b.memoryPerfBound));
+    EXPECT_EQ(bits(a.averageIntensity), bits(b.averageIntensity));
+    EXPECT_EQ(bits(a.totalDataBytes), bits(b.totalDataBytes));
+    EXPECT_EQ(a.bottleneckIp, b.bottleneckIp);
+    EXPECT_EQ(a.bottleneck, b.bottleneck);
+    ASSERT_EQ(a.ips.size(), b.ips.size());
+    for (size_t i = 0; i < a.ips.size(); ++i) {
+        EXPECT_EQ(bits(a.ips[i].computeTime), bits(b.ips[i].computeTime))
+            << "ip " << i;
+        EXPECT_EQ(bits(a.ips[i].dataBytes), bits(b.ips[i].dataBytes))
+            << "ip " << i;
+        EXPECT_EQ(bits(a.ips[i].transferTime),
+                  bits(b.ips[i].transferTime))
+            << "ip " << i;
+        EXPECT_EQ(bits(a.ips[i].time), bits(b.ips[i].time)) << "ip "
+                                                            << i;
+        EXPECT_EQ(bits(a.ips[i].perfBound), bits(b.ips[i].perfBound))
+            << "ip " << i;
+    }
+}
+
+SocSpec
+threeIp()
+{
+    return SocSpec("three", 10e9, 20e9,
+                   {IpSpec{"CPU", 1.0, 8e9}, IpSpec{"GPU", 20.0, 25e9},
+                    IpSpec{"DSP", 0.5, 5e9}});
+}
+
+TEST(Evaluator, MatchesLegacyOnCatalogSocs)
+{
+    struct Case {
+        SocSpec soc;
+        Usecase usecase;
+    };
+    std::vector<IpWork> even(kNumFullSocIps, IpWork{0.1, 2.0});
+    Case cases[] = {
+        {SocCatalog::paperTwoIp(), Usecase::twoIp("6b", 0.75, 8.0, 0.1)},
+        {SocCatalog::paperTwoIp(), Usecase::twoIp("6a", 0.0, 8.0, 0.1)},
+        {SocCatalog::snapdragon835(),
+         Usecase("mix", {IpWork{0.5, 4.0}, IpWork{0.3, 16.0},
+                         IpWork{0.2, 1.0}})},
+        {SocCatalog::snapdragon821(),
+         Usecase("gpu", {IpWork{0.0, 1.0}, IpWork{1.0, 0.25},
+                         IpWork{0.0, 1.0}})},
+        {SocCatalog::snapdragon835Full(), Usecase("even", even)},
+    };
+    for (const Case &c : cases) {
+        GablesEvaluator ev(c.soc, c.usecase);
+        GablesResult fast = ev.evaluate();
+        GablesResult legacy = GablesModel::evaluate(c.soc, c.usecase);
+        expectBitIdentical(fast, legacy);
+        EXPECT_EQ(bits(ev.attainable()), bits(legacy.attainable));
+    }
+}
+
+TEST(Evaluator, ScratchResultReuseIsIdentical)
+{
+    SocSpec soc = threeIp();
+    Usecase a("a", {IpWork{0.5, 4.0}, IpWork{0.25, 16.0},
+                    IpWork{0.25, 1.0}});
+    Usecase b("b", {IpWork{0.1, 0.5}, IpWork{0.9, 64.0},
+                    IpWork{0.0, 1.0}});
+    GablesEvaluator ev(soc, a);
+    GablesResult scratch;
+    ev.evaluate(scratch);
+    expectBitIdentical(scratch, GablesModel::evaluate(soc, a));
+
+    // Mutate to usecase b in place; the reused scratch must carry no
+    // stale state.
+    for (size_t i = 0; i < soc.numIps(); ++i)
+        ev.setWork(i, b.fraction(i), b.intensity(i));
+    ev.evaluate(scratch);
+    expectBitIdentical(scratch, GablesModel::evaluate(soc, b));
+}
+
+TEST(Evaluator, EachMutatorMatchesRebuild)
+{
+    SocSpec soc = threeIp();
+    Usecase u("u", {IpWork{0.5, 4.0}, IpWork{0.3, 16.0},
+                    IpWork{0.2, 1.0}});
+    GablesEvaluator ev(soc, u);
+
+    ev.setPpeak(17e9);
+    expectBitIdentical(
+        ev.evaluate(),
+        GablesModel::evaluate(SocSpec("s", 17e9, soc.bpeak(),
+                                      {soc.ip(0), soc.ip(1),
+                                       soc.ip(2)}),
+                              u));
+    ev.setPpeak(soc.ppeak());
+
+    ev.setBpeak(7e9);
+    expectBitIdentical(ev.evaluate(),
+                       GablesModel::evaluate(soc.withBpeak(7e9), u));
+    ev.setBpeak(soc.bpeak());
+
+    ev.setAcceleration(1, 3.5);
+    expectBitIdentical(
+        ev.evaluate(),
+        GablesModel::evaluate(soc.withIpAcceleration(1, 3.5), u));
+    ev.setAcceleration(1, soc.ip(1).acceleration);
+
+    ev.setIpBandwidth(2, 11e9);
+    expectBitIdentical(
+        ev.evaluate(),
+        GablesModel::evaluate(soc.withIpBandwidth(2, 11e9), u));
+    ev.setIpBandwidth(2, soc.ip(2).bandwidth);
+
+    ev.setIntensity(0, 0.125);
+    expectBitIdentical(
+        ev.evaluate(),
+        GablesModel::evaluate(soc,
+                              u.withWork(0, IpWork{0.5, 0.125})));
+    ev.setIntensity(0, u.intensity(0));
+
+    ev.setFraction(1, 0.2);
+    ev.setFraction(2, 0.3);
+    expectBitIdentical(
+        ev.evaluate(),
+        GablesModel::evaluate(
+            soc, Usecase("v", {IpWork{0.5, 4.0}, IpWork{0.2, 16.0},
+                               IpWork{0.3, 1.0}})));
+
+    // After the full mutate-and-restore tour the original point must
+    // reproduce exactly.
+    ev.setFraction(1, 0.3);
+    ev.setFraction(2, 0.2);
+    expectBitIdentical(ev.evaluate(), GablesModel::evaluate(soc, u));
+}
+
+TEST(Evaluator, InactiveAndInfiniteLanes)
+{
+    SocSpec soc = threeIp();
+    Usecase u("edge", {IpWork{0.0, 1.0}, IpWork{0.5, kInf},
+                       IpWork{0.5, 2.0}});
+    GablesEvaluator ev(soc, u);
+    GablesResult legacy = GablesModel::evaluate(soc, u);
+    expectBitIdentical(ev.evaluate(), legacy);
+    EXPECT_TRUE(std::isinf(ev.evaluate().ips[0].perfBound));
+
+    // Activating the idle lane and idling an active one through the
+    // mutators still matches a rebuild.
+    ev.setWork(0, 0.5, 3.0);
+    ev.setWork(1, 0.0, 1.0);
+    expectBitIdentical(
+        ev.evaluate(),
+        GablesModel::evaluate(
+            soc, Usecase("e2", {IpWork{0.5, 3.0}, IpWork{0.0, 1.0},
+                                IpWork{0.5, 2.0}})));
+}
+
+TEST(Evaluator, InvalidInputsRejected)
+{
+    SocSpec soc = threeIp();
+    Usecase u("u", {IpWork{0.5, 4.0}, IpWork{0.3, 16.0},
+                    IpWork{0.2, 1.0}});
+    Usecase two = Usecase::twoIp("two", 0.5, 1.0, 1.0);
+    EXPECT_THROW(GablesEvaluator(soc, two), FatalError);
+
+    GablesEvaluator ev(soc, u);
+    EXPECT_THROW(ev.setPpeak(0.0), FatalError);
+    EXPECT_THROW(ev.setPpeak(-1.0), FatalError);
+    EXPECT_THROW(ev.setBpeak(kInf), FatalError);
+    EXPECT_THROW(ev.setAcceleration(0, 2.0), FatalError); // A0 pinned
+    EXPECT_THROW(ev.setAcceleration(1, 0.0), FatalError);
+    EXPECT_THROW(ev.setAcceleration(7, 2.0), FatalError);
+    EXPECT_THROW(ev.setIpBandwidth(1, -3.0), FatalError);
+    EXPECT_THROW(ev.setFraction(2, -0.1), FatalError);
+    EXPECT_THROW(ev.setIntensity(2, 0.0), FatalError);
+    EXPECT_THROW(ev.setWork(9, 0.5, 1.0), FatalError);
+
+    // A rejected mutation must leave the compiled state untouched.
+    expectBitIdentical(ev.evaluate(), GablesModel::evaluate(soc, u));
+}
+
+TEST(Evaluator, GettersReflectMutations)
+{
+    SocSpec soc = threeIp();
+    Usecase u("u", {IpWork{0.5, 4.0}, IpWork{0.3, 16.0},
+                    IpWork{0.2, 1.0}});
+    GablesEvaluator ev(soc, u);
+    EXPECT_EQ(ev.numIps(), 3u);
+    EXPECT_DOUBLE_EQ(ev.ppeak(), 10e9);
+    EXPECT_DOUBLE_EQ(ev.bpeak(), 20e9);
+    EXPECT_DOUBLE_EQ(ev.acceleration(1), 20.0);
+    EXPECT_DOUBLE_EQ(ev.ipBandwidth(2), 5e9);
+    EXPECT_DOUBLE_EQ(ev.fraction(0), 0.5);
+    EXPECT_DOUBLE_EQ(ev.intensity(1), 16.0);
+    ev.setBpeak(9e9);
+    ev.setWork(0, 0.4, 2.0);
+    EXPECT_DOUBLE_EQ(ev.bpeak(), 9e9);
+    EXPECT_DOUBLE_EQ(ev.fraction(0), 0.4);
+    EXPECT_DOUBLE_EQ(ev.intensity(0), 2.0);
+}
+
+TEST(Evaluator, EvalCountCountsBothPaths)
+{
+    SocSpec soc = threeIp();
+    Usecase u("u", {IpWork{0.5, 4.0}, IpWork{0.3, 16.0},
+                    IpWork{0.2, 1.0}});
+    GablesEvaluator ev(soc, u);
+    EXPECT_EQ(ev.evalCount(), 0u);
+    ev.attainable();
+    EXPECT_EQ(ev.evalCount(), 1u);
+    GablesResult scratch;
+    ev.evaluate(scratch);
+    ev.evaluate();
+    EXPECT_EQ(ev.evalCount(), 3u);
+    ev.setBpeak(9e9); // mutation alone is not an evaluation
+    EXPECT_EQ(ev.evalCount(), 3u);
+}
+
+} // namespace
+} // namespace gables

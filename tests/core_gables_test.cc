@@ -170,6 +170,69 @@ TEST(Gables, ToStringCoversKinds)
     EXPECT_EQ(toString(BottleneckKind::Memory), "memory interface");
 }
 
+TEST(Gables, BottleneckLabelFallsBackToIndexForUnnamedIp)
+{
+    // An IP with an empty name is labeled by its index.
+    SocSpec soc("anon", 10e9, 100e9,
+                {IpSpec{"", 1.0, 100e9}, IpSpec{"", 2.0, 1e9}});
+    Usecase u = Usecase::twoIp("u", 1.0, 8.0, 0.1);
+    GablesResult r = GablesModel::evaluate(soc, u);
+    EXPECT_EQ(r.bottleneck, BottleneckKind::IpBandwidth);
+    EXPECT_EQ(r.bottleneckLabel(soc), "IP[1] link bandwidth (Bi)");
+
+    Usecase c = Usecase::twoIp("c", 0.0, kInf, 1.0);
+    r = GablesModel::evaluate(soc, c);
+    EXPECT_EQ(r.bottleneckLabel(soc), "IP[0] compute (Ai*Ppeak)");
+}
+
+// Tie-break contract: memory first, then the lowest IP index. The
+// three tests below share exact power-of-two parameters so every
+// compared time is the same double, making the ties exact rather
+// than approximate.
+TEST(Gables, ThreeWayTieGoesToMemory)
+{
+    // Per IP: C = 0.5/1 = 0.5, D/B = 0.5/1 = 0.5; memory: 1/2 = 0.5.
+    SocSpec soc("tie3", 1.0, 2.0,
+                {IpSpec{"a", 1.0, 1.0}, IpSpec{"b", 1.0, 1.0}});
+    Usecase u = Usecase::twoIp("u", 0.5, 1.0, 1.0);
+    GablesResult r = GablesModel::evaluate(soc, u);
+    EXPECT_DOUBLE_EQ(r.memoryTime, 0.5);
+    EXPECT_DOUBLE_EQ(r.ips[0].time, 0.5);
+    EXPECT_DOUBLE_EQ(r.ips[1].time, 0.5);
+    EXPECT_EQ(r.bottleneckIp, -1);
+    EXPECT_EQ(r.bottleneck, BottleneckKind::Memory);
+    EXPECT_EQ(r.bottleneckLabel(soc), "memory interface (Bpeak)");
+}
+
+TEST(Gables, IpTieGoesToLowestIndex)
+{
+    // Same IPs, Bpeak = 4: memory drops to 0.25, both IPs tie at 0.5
+    // -> IP[0] is attributed; its compute and transfer times also
+    // tie, and compute wins that inner tie.
+    SocSpec soc("tie2", 1.0, 4.0,
+                {IpSpec{"a", 1.0, 1.0}, IpSpec{"b", 1.0, 1.0}});
+    Usecase u = Usecase::twoIp("u", 0.5, 1.0, 1.0);
+    GablesResult r = GablesModel::evaluate(soc, u);
+    EXPECT_DOUBLE_EQ(r.memoryTime, 0.25);
+    EXPECT_EQ(r.bottleneckIp, 0);
+    EXPECT_EQ(r.bottleneck, BottleneckKind::IpCompute);
+    EXPECT_EQ(r.bottleneckLabel(soc), "a compute (Ai*Ppeak)");
+}
+
+TEST(Gables, NarrowLinkBreaksIpTieTowardBandwidth)
+{
+    // Halving IP[0]'s link doubles its transfer time (1.0 > 0.5):
+    // now a single strict maximum, attributed as link bandwidth.
+    SocSpec soc("narrow", 1.0, 4.0,
+                {IpSpec{"a", 1.0, 0.5}, IpSpec{"b", 1.0, 1.0}});
+    Usecase u = Usecase::twoIp("u", 0.5, 1.0, 1.0);
+    GablesResult r = GablesModel::evaluate(soc, u);
+    EXPECT_DOUBLE_EQ(r.ips[0].transferTime, 1.0);
+    EXPECT_EQ(r.bottleneckIp, 0);
+    EXPECT_EQ(r.bottleneck, BottleneckKind::IpBandwidth);
+    EXPECT_EQ(r.bottleneckLabel(soc), "a link bandwidth (Bi)");
+}
+
 TEST(Gables, SingleActiveIpMatchesItsIsolatedRoofline)
 {
     // With all work on one IP, evaluate() equals that IP's isolated
