@@ -7,6 +7,7 @@
 #include "analysis/balance.h"
 #include "analysis/optimal_split.h"
 #include "core/evaluator.h"
+#include "telemetry/span.h"
 #include "util/logging.h"
 #include "util/strings.h"
 #include "util/units.h"
@@ -54,6 +55,7 @@ std::vector<Advice>
 Advisor::advise(const SocSpec &soc, const Usecase &usecase,
                 const Options &options)
 {
+    GABLES_SPAN("advisor.advise");
     if (!(options.maxScale > 1.0))
         fatal("advisor maxScale must exceed 1");
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "telemetry/span.h"
 #include "util/logging.h"
 
 namespace gables {
@@ -222,19 +223,24 @@ DesignExplorer::explore(int jobs, parallel::ForStats *stats) const
     for (int w = 0; w < workers; ++w)
         states.push_back(makeWorkerState());
 
-    parallel::ForStats st = parallel::parallelFor(
-        candidates.size(),
-        [&](size_t i, int worker) {
-            evaluateOne(i, states[static_cast<size_t>(worker)],
-                        candidates[i]);
-        },
-        opts);
+    parallel::ForStats st;
+    {
+        GABLES_SPAN("explore.grid");
+        st = parallel::parallelFor(
+            candidates.size(),
+            [&](size_t i, int worker) {
+                evaluateOne(i, states[static_cast<size_t>(worker)],
+                            candidates[i]);
+            },
+            opts);
+    }
     if (stats)
         *stats = st;
 
     // Pareto marking: candidate c is dominated if another candidate
     // has >= perf and <= cost with at least one strict. Each index
     // only writes its own flag, so the scan parallelizes cleanly.
+    GABLES_SPAN("explore.pareto");
     parallel::parallelFor(
         candidates.size(),
         [&](size_t i) {
@@ -406,6 +412,7 @@ DesignExplorer::exploreFrontier(const ExploreOptions &options,
     for (size_t lo = 0; lo < total; lo += chunk) {
         const size_t hi = std::min(total, lo + chunk);
         if (prune && !incumbents.empty()) {
+            GABLES_SPAN("explore.bounds");
             double p_max = 0.0;
             double c_min = 0.0;
             subgridBounds(lo, hi - 1, p_max, c_min);
@@ -417,6 +424,7 @@ DesignExplorer::exploreFrontier(const ExploreOptions &options,
             }
         }
 
+        GABLES_SPAN("explore.grid");
         chunk_points.resize(hi - lo);
         pool.forEach(hi - lo, [&](size_t i, int worker) {
             WorkerState &ws = states[static_cast<size_t>(worker)];
@@ -443,6 +451,7 @@ DesignExplorer::exploreFrontier(const ExploreOptions &options,
     // Materialize the frontier: re-derive each member's SocSpec and
     // per-usecase detail (deterministic, so bit-identical to the
     // values that earned it frontier membership).
+    GABLES_SPAN("explore.materialize");
     std::vector<Candidate> out;
     out.reserve(incumbents.size());
     WorkerState &scratch = states.front();

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <functional>
 
+#include "telemetry/span.h"
 #include "util/logging.h"
 
 namespace gables {
@@ -50,6 +51,7 @@ Provisioner::minimize(const SocSpec &start,
                       const std::vector<Requirement> &requirements,
                       const Options &options)
 {
+    GABLES_SPAN("provision.minimize");
     if (requirements.empty())
         fatal("provisioner needs at least one requirement");
     for (const Requirement &req : requirements) {

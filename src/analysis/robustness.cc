@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/evaluator.h"
+#include "telemetry/span.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -13,6 +14,7 @@ RobustnessReport
 Robustness::analyze(const SocSpec &soc, const Usecase &usecase,
                     const Options &options)
 {
+    GABLES_SPAN("robust.analyze");
     if (options.samples < 1)
         fatal("robustness analysis needs at least one sample");
     if (!(options.intensityJitter >= 1.0) ||

@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "core/evaluator.h"
+#include "telemetry/span.h"
 #include "util/logging.h"
 
 namespace gables {
@@ -29,6 +30,7 @@ std::vector<SensitivityEntry>
 Sensitivity::analyze(const SocSpec &soc, const Usecase &usecase,
                      double rel_step)
 {
+    GABLES_SPAN("sensitivity.analyze");
     std::vector<SensitivityEntry> entries;
     entries.reserve(2 * soc.numIps() + 1 + usecase.numIps());
 

@@ -1,5 +1,6 @@
 #include "analysis/sweep.h"
 
+#include "telemetry/span.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -18,6 +19,7 @@ Sweep::fill(std::string label, const std::vector<double> &xs,
     series.y.resize(xs.size());
     parallel::ForOptions opts;
     opts.jobs = jobs;
+    GABLES_SPAN("sweep.grid");
     parallel::ForStats st = parallel::parallelFor(
         xs.size(),
         [&](size_t i) { series.y[i] = evaluate(series.x[i]); }, opts);
@@ -49,9 +51,13 @@ Sweep::fillWith(std::string label, const SocSpec &soc,
         xs.empty() ? 0 : parallel::plannedWorkers(xs.size(), opts);
     std::vector<GablesEvaluator> evaluators;
     evaluators.reserve(static_cast<size_t>(workers));
-    for (int w = 0; w < workers; ++w)
-        evaluators.emplace_back(soc, seed);
+    {
+        GABLES_SPAN("sweep.compile");
+        for (int w = 0; w < workers; ++w)
+            evaluators.emplace_back(soc, seed);
+    }
 
+    GABLES_SPAN("sweep.grid");
     parallel::ForStats st = parallel::parallelFor(
         xs.size(),
         [&](size_t i, int worker) {

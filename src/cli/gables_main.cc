@@ -10,6 +10,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "analysis/explorer.h"
 #include "analysis/provisioner.h"
 #include "analysis/robustness.h"
+#include "analysis/sensitivity.h"
 #include "analysis/sweep.h"
 #include "core/gables.h"
 #include "core/serialize.h"
@@ -32,8 +34,11 @@
 #include "soc/pipeline.h"
 #include "soc/usecases.h"
 #include "telemetry/report.h"
+#include "telemetry/report_diff.h"
+#include "telemetry/span.h"
 #include "telemetry/stats.h"
 #include "util/arg_parser.h"
+#include "util/json_reader.h"
 #include "util/logging.h"
 #include "util/parse.h"
 #include "util/strings.h"
@@ -123,6 +128,34 @@ recordParallelStats(telemetry::StatsRegistry &reg,
         busy.sample(b);
 }
 
+/**
+ * Finish a run report: attach the active span tracer (nullptr when
+ * --profile is off, so the bytes are unchanged) and write it to
+ * @p path.
+ */
+void
+writeReport(telemetry::RunReport &report, const std::string &path)
+{
+    report.setProfile(telemetry::SpanTracer::active());
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open '" + path + "'");
+    report.write(out);
+    std::cout << "wrote " << path << '\n';
+}
+
+/** Read a whole file, fataling with the path on failure. */
+std::string
+slurpFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open '" + path + "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
 int
 cmdEval(int argc, const char *const *argv)
 {
@@ -139,6 +172,9 @@ cmdEval(int argc, const char *const *argv)
     args.addOption("viz-json",
                    "write the visualization JSON to this path");
     args.addFlag("ascii", "print an ASCII scaled-roofline plot");
+    args.addOption("metrics",
+                   "write a run-report JSON with the evaluation to "
+                   "this path");
     if (!args.parse(argc, argv, std::cerr))
         return usageExit(args);
 
@@ -213,6 +249,37 @@ cmdEval(int argc, const char *const *argv)
         writeVisualizationJson(out, soc, usecase);
         std::cout << "wrote " << path << '\n';
     }
+    if (args.has("metrics")) {
+        telemetry::StatsRegistry reg;
+        reg.gauge("model.attainable",
+                  "Gables attainable performance bound (ops/s)")
+            .set(result.attainable);
+        reg.gauge("model.memory_perf_bound",
+                  "memory-interface performance bound (ops/s)")
+            .set(result.memoryPerfBound);
+        reg.gauge("model.average_intensity",
+                  "usecase average operational intensity (ops/byte)")
+            .set(result.averageIntensity);
+        telemetry::TimeSeries &bounds = reg.timeSeries(
+            "model.ip_perf_bound",
+            "per-IP performance bound (ops/s) keyed by IP index");
+        for (size_t i = 0; i < result.ips.size(); ++i)
+            bounds.sample(static_cast<double>(i),
+                          result.ips[i].perfBound);
+        reg.counter("model.evals",
+                    "Gables model evaluations performed")
+            .add(1.0);
+
+        telemetry::RunReport report("gables eval", soc.name());
+        report.addConfig("usecase", usecase.name());
+        for (size_t i = 0; i < usecase.numIps(); ++i) {
+            std::string n = std::to_string(i);
+            report.addConfig("f" + n, usecase.fraction(i));
+            report.addConfig("i" + n, usecase.intensity(i));
+        }
+        report.setRegistry(&reg);
+        writeReport(report, args.getString("metrics"));
+    }
     return 0;
 }
 
@@ -281,13 +348,7 @@ cmdSweep(int argc, const char *const *argv)
         report.addConfig("points", n);
         report.addConfig("jobs", static_cast<long>(jobs));
         report.setRegistry(&reg);
-
-        std::string path = args.getString("metrics");
-        std::ofstream out(path);
-        if (!out)
-            fatal("cannot open '" + path + "'");
-        report.write(out);
-        std::cout << "wrote " << path << '\n';
+        writeReport(report, args.getString("metrics"));
     }
     return 0;
 }
@@ -397,6 +458,17 @@ cmdSim(int argc, const char *const *argv)
     std::cout << rt.render();
 
     if (args.has("trace")) {
+        // With --profile on, the tool's own spans export as
+        // "ph":"X" duration slices on per-thread profile tracks
+        // alongside the simulated resource tracks.
+        if (const telemetry::SpanTracer *tracer =
+                telemetry::SpanTracer::active()) {
+            for (const telemetry::SpanEvent &ev : tracer->events())
+                trace.record("profile/thread" +
+                                 std::to_string(ev.thread),
+                             ev.startSeconds, ev.durationSeconds,
+                             ev.path);
+        }
         std::string path = args.getString("trace");
         std::ofstream out(path);
         if (!out)
@@ -442,13 +514,7 @@ cmdSim(int argc, const char *const *argv)
             report.addResource(
                 {r.name, r.bytesServed, r.busyTime, r.utilization});
         report.setRegistry(&reg);
-
-        std::string path = args.getString("metrics");
-        std::ofstream out(path);
-        if (!out)
-            fatal("cannot open '" + path + "'");
-        report.write(out);
-        std::cout << "wrote " << path << '\n';
+        writeReport(report, args.getString("metrics"));
     }
     return 0;
 }
@@ -552,13 +618,7 @@ cmdErt(int argc, const char *const *argv)
                          static_cast<long>(samples.size()));
         report.addConfig("jobs", static_cast<long>(jobs));
         report.setRegistry(&reg);
-
-        std::string path = args.getString("metrics");
-        std::ofstream out(path);
-        if (!out)
-            fatal("cannot open '" + path + "'");
-        report.write(out);
-        std::cout << "wrote " << path << '\n';
+        writeReport(report, args.getString("metrics"));
     }
     return 0;
 }
@@ -574,6 +634,9 @@ cmdAdvise(int argc, const char *const *argv)
     args.addDoubleOption("f", "fraction of work at IP[1]", "0.75");
     args.addDoubleOption("i0", "intensity at IP[0]", "8");
     args.addDoubleOption("i1", "intensity at IP[1]", "0.1");
+    args.addOption("metrics",
+                   "write a run-report JSON with the ranked moves to "
+                   "this path");
     if (!args.parse(argc, argv, std::cerr))
         return usageExit(args);
 
@@ -604,17 +667,42 @@ cmdAdvise(int argc, const char *const *argv)
     if (advice.empty()) {
         std::cout << "no moves found: the design is balanced for "
                      "this usecase\n";
-        return 0;
+    } else {
+        TextTable t({"move", "gain", "new perf"});
+        for (const Advice &a : advice) {
+            t.addRow({a.description,
+                      a.kind == AdviceKind::ShrinkSlack
+                          ? "free"
+                          : formatDouble(a.gain, 3) + "x",
+                      formatOpsRate(a.newAttainable)});
+        }
+        std::cout << t.render();
     }
-    TextTable t({"move", "gain", "new perf"});
-    for (const Advice &a : advice) {
-        t.addRow({a.description,
-                  a.kind == AdviceKind::ShrinkSlack
-                      ? "free"
-                      : formatDouble(a.gain, 3) + "x",
-                  formatOpsRate(a.newAttainable)});
+    if (args.has("metrics")) {
+        telemetry::StatsRegistry reg;
+        reg.gauge("advisor.base_attainable",
+                  "attainable bound of the unmodified design (ops/s)")
+            .set(base.attainable);
+        reg.counter("advisor.moves", "design moves found")
+            .add(static_cast<double>(advice.size()));
+        telemetry::TimeSeries &moves = reg.timeSeries(
+            "advisor.new_attainable",
+            "attainable after each ranked move (ops/s), keyed by "
+            "rank");
+        for (size_t i = 0; i < advice.size(); ++i)
+            moves.sample(static_cast<double>(i),
+                         advice[i].newAttainable);
+
+        telemetry::RunReport report("gables advise", soc.name());
+        report.addConfig("usecase", usecase.name());
+        for (size_t i = 0; i < usecase.numIps(); ++i) {
+            std::string n = std::to_string(i);
+            report.addConfig("f" + n, usecase.fraction(i));
+            report.addConfig("i" + n, usecase.intensity(i));
+        }
+        report.setRegistry(&reg);
+        writeReport(report, args.getString("metrics"));
     }
-    std::cout << t.render();
     return 0;
 }
 
@@ -664,6 +752,243 @@ cmdRobust(int argc, const char *const *argv)
                   << formatDouble(share * 100.0, 1) << "%\n";
     }
     return 0;
+}
+
+int
+cmdSensitivity(int argc, const char *const *argv)
+{
+    ArgParser args("gables sensitivity",
+                   "elasticity of the attainable bound w.r.t. every "
+                   "hardware and software parameter");
+    args.addOption("soc", "catalog SoC name", "paper");
+    args.addOption("file", "config file with the SoC and usecases");
+    args.addOption("usecase", "usecase name from the file");
+    args.addDoubleOption("f", "fraction of work at IP[1]", "0.75");
+    args.addDoubleOption("i0", "intensity at IP[0]", "8");
+    args.addDoubleOption("i1", "intensity at IP[1]", "8");
+    args.addDoubleOption("step", "relative probe step", "0.01");
+    args.addOption("metrics",
+                   "write a run-report JSON with the elasticities to "
+                   "this path");
+    if (!args.parse(argc, argv, std::cerr))
+        return usageExit(args);
+
+    SocSpec soc = resolveSoc("paper");
+    Usecase usecase("cli", {IpWork{1.0, 1.0}});
+    if (args.has("file")) {
+        SocConfig cfg = loadSocConfig(args.getString("file"));
+        soc = cfg.soc;
+        if (cfg.usecases.empty())
+            fatal("config file declares no usecases");
+        usecase = args.has("usecase")
+                      ? cfg.usecase(args.getString("usecase"))
+                      : cfg.usecases.front();
+    } else {
+        soc = resolveSoc(args.getString("soc", "paper"));
+        double f = args.getDouble("f", 0.75);
+        std::vector<IpWork> work(soc.numIps(), IpWork{0.0, 1.0});
+        work[0] = IpWork{1.0 - f, args.getDouble("i0", 8.0)};
+        if (soc.numIps() > 1)
+            work[1] = IpWork{f, args.getDouble("i1", 8.0)};
+        usecase = Usecase("cli", work);
+    }
+    double step = args.getDouble("step", 0.01);
+    if (!(step > 0.0) || !(step < 1.0))
+        fatal("--step must be in (0, 1)");
+
+    auto entries = Sensitivity::analyze(soc, usecase, step);
+    TextTable t({"parameter", "elasticity"});
+    for (const SensitivityEntry &e : entries)
+        t.addRow({e.parameter, formatDouble(e.elasticity, 4)});
+    std::cout << t.render();
+
+    if (args.has("metrics")) {
+        telemetry::StatsRegistry reg;
+        for (const SensitivityEntry &e : entries)
+            reg.gauge("sensitivity." + e.parameter,
+                      "elasticity d ln(P) / d ln(" + e.parameter +
+                          ")")
+                .set(e.elasticity);
+
+        telemetry::RunReport report("gables sensitivity", soc.name());
+        report.addConfig("usecase", usecase.name());
+        report.addConfig("step", step);
+        for (size_t i = 0; i < usecase.numIps(); ++i) {
+            std::string n = std::to_string(i);
+            report.addConfig("f" + n, usecase.fraction(i));
+            report.addConfig("i" + n, usecase.intensity(i));
+        }
+        report.setRegistry(&reg);
+        writeReport(report, args.getString("metrics"));
+    }
+    return 0;
+}
+
+/** Print a one-screen human summary of a parsed run report. */
+void
+showReport(const std::string &path, const JsonValue &doc)
+{
+    std::cout << path << ":\n";
+    if (doc.has("schema"))
+        std::cout << "  schema:    "
+                  << doc.at("schema").at("name").asString() << " v"
+                  << formatDouble(
+                         doc.at("schema").at("version").asNumber(), 0)
+                  << '\n';
+    if (doc.has("generator"))
+        std::cout << "  generator: "
+                  << doc.at("generator").asString() << '\n';
+    if (doc.has("subject"))
+        std::cout << "  subject:   " << doc.at("subject").asString()
+                  << '\n';
+    if (doc.has("config")) {
+        std::cout << "  config:   ";
+        for (const auto &m : doc.at("config").members()) {
+            std::cout << ' ' << m.first << '=';
+            if (m.second.isString())
+                std::cout << m.second.asString();
+            else if (m.second.isNumber())
+                std::cout << formatDouble(m.second.asNumber(), 6);
+        }
+        std::cout << '\n';
+    }
+    if (doc.has("duration_s"))
+        std::cout << "  duration:  "
+                  << formatDouble(doc.at("duration_s").asNumber() * 1e3,
+                                  3)
+                  << " ms simulated\n";
+    if (doc.has("engines"))
+        std::cout << "  engines:   " << doc.at("engines").size()
+                  << " row(s)\n";
+    if (doc.has("resources"))
+        std::cout << "  resources: " << doc.at("resources").size()
+                  << " row(s)\n";
+    if (doc.has("stats"))
+        std::cout << "  stats:     " << doc.at("stats").size()
+                  << " metric(s)\n";
+    if (doc.has("profile")) {
+        const JsonValue &prof = doc.at("profile");
+        std::cout << "  profile:   "
+                  << formatDouble(prof.at("wall_s").asNumber() * 1e3,
+                                  3)
+                  << " ms wall, "
+                  << formatDouble(prof.at("threads").asNumber(), 0)
+                  << " thread(s)\n";
+        for (const JsonValue &span : prof.at("spans").items())
+            std::cout << "    " << span.at("name").asString() << ": "
+                      << formatDouble(
+                             span.at("total_s").asNumber() * 1e3, 3)
+                      << " ms over "
+                      << formatDouble(span.at("count").asNumber(), 0)
+                      << " call(s)\n";
+    }
+}
+
+int
+cmdReport(int argc, const char *const *argv)
+{
+    ArgParser args(
+        "gables report",
+        "inspect and diff run-report JSON artifacts:\n"
+        "  gables report show FILE\n"
+        "  gables report diff A.json B.json [tolerances]\n"
+        "diff exits 0 when the reports match within tolerance, 1 "
+        "when they differ");
+    args.addDoubleOption("tol-rel",
+                         "relative tolerance when comparing numeric "
+                         "fields",
+                         "0");
+    args.addDoubleOption("tol-abs",
+                         "absolute tolerance when comparing numeric "
+                         "fields",
+                         "0");
+    args.addDoubleOption(
+        "min-ratio",
+        "one-sided gate: a numeric field fails only when B/A falls "
+        "below this ratio (perf baselines; overrides --tol-*)",
+        "-1");
+    args.addOption("ignore",
+                   "comma-separated field names or dotted path "
+                   "prefixes to skip");
+    args.addIntOption("max-diffs", "differences to list before "
+                                   "truncating",
+                      "100");
+    if (!args.parse(argc, argv, std::cerr))
+        return usageExit(args);
+
+    const std::vector<std::string> &pos = args.positional();
+    if (pos.empty()) {
+        std::cerr << "gables report: expected 'show' or 'diff'\n"
+                  << args.usage();
+        return kExitUsage;
+    }
+    const std::string &verb = pos.front();
+    if (verb == "show") {
+        if (pos.size() != 2) {
+            std::cerr << "gables report show: expected exactly one "
+                         "report path\n"
+                      << args.usage();
+            return kExitUsage;
+        }
+        // Malformed JSON escapes as FatalError and exits 1 through
+        // the top-level handler, mirroring `gables validate`.
+        showReport(pos[1], parseJson(slurpFile(pos[1])));
+        return kExitOk;
+    }
+    if (verb == "diff") {
+        if (pos.size() != 3) {
+            std::cerr << "gables report diff: expected exactly two "
+                         "report paths\n"
+                      << args.usage();
+            return kExitUsage;
+        }
+        telemetry::ReportDiffOptions opts;
+        opts.tolRel = args.getDouble("tol-rel", 0.0);
+        opts.tolAbs = args.getDouble("tol-abs", 0.0);
+        opts.minRatio = args.getDouble("min-ratio", -1.0);
+        if (opts.tolRel < 0.0 || opts.tolAbs < 0.0) {
+            std::cerr << "gables report diff: --tol-rel and "
+                         "--tol-abs must be >= 0\n";
+            return kExitUsage;
+        }
+        long max_diffs = args.getInt("max-diffs", 100);
+        if (max_diffs < 1 || max_diffs > 1000000) {
+            std::cerr << "gables report diff: --max-diffs must be "
+                         "in [1, 1000000]\n";
+            return kExitUsage;
+        }
+        opts.maxDiffs = static_cast<size_t>(max_diffs);
+
+        JsonValue a = parseJson(slurpFile(pos[1]));
+        JsonValue b = parseJson(slurpFile(pos[2]));
+        if (args.has("ignore")) {
+            for (const std::string &k :
+                 split(args.getString("ignore"), ','))
+                if (!k.empty())
+                    opts.ignore.push_back(k);
+        }
+
+        telemetry::ReportDiffResult result =
+            telemetry::diffReports(a, b, opts);
+        if (result.identical()) {
+            std::cout << pos[1] << " and " << pos[2]
+                      << " match within tolerance ("
+                      << result.fieldsCompared
+                      << " field(s) compared)\n";
+            return kExitOk;
+        }
+        std::cout << pos[1] << " and " << pos[2] << " differ ("
+                  << result.diffs.size()
+                  << (result.truncated ? "+" : "")
+                  << " difference(s), " << result.fieldsCompared
+                  << " field(s) compared):\n"
+                  << telemetry::formatDiff(result);
+        return kExitError;
+    }
+    std::cerr << "gables report: unknown action '" << verb << "'"
+              << didYouMean(verb, {"show", "diff"}) << '\n'
+              << args.usage();
+    return kExitUsage;
 }
 
 int
@@ -841,13 +1166,7 @@ cmdExplore(int argc, const char *const *argv)
         report.addConfig("points", points);
         report.addConfig("jobs", static_cast<long>(jobs));
         report.setRegistry(&reg);
-
-        std::string path = args.getString("metrics");
-        std::ofstream out(path);
-        if (!out)
-            fatal("cannot open '" + path + "'");
-        report.write(out);
-        std::cout << "wrote " << path << '\n';
+        writeReport(report, args.getString("metrics"));
     }
     return 0;
 }
@@ -858,6 +1177,9 @@ cmdProvision(int argc, const char *const *argv)
     ArgParser args("gables provision",
                    "shrink a SoC to the cheapest design meeting "
                    "every catalog usecase target");
+    args.addOption("metrics",
+                   "write a run-report JSON with the sufficient "
+                   "design to this path");
     if (!args.parse(argc, argv, std::cerr))
         return usageExit(args);
 
@@ -884,6 +1206,35 @@ cmdProvision(int argc, const char *const *argv)
                   formatByteRate(r.soc.ip(i).bandwidth)});
     }
     std::cout << t.render();
+    if (args.has("metrics")) {
+        telemetry::StatsRegistry reg;
+        reg.gauge("provision.feasible",
+                  "1 when the generous start met every requirement")
+            .set(r.feasible ? 1.0 : 0.0);
+        reg.counter("provision.requirements",
+                    "catalog usecase targets the design must meet")
+            .add(static_cast<double>(reqs.size()));
+        reg.gauge("provision.bpeak_start",
+                  "Bpeak of the generous starting design (bytes/s)")
+            .set(start.bpeak());
+        reg.gauge("provision.bpeak_sufficient",
+                  "Bpeak of the shrunk sufficient design (bytes/s)")
+            .set(r.soc.bpeak());
+        telemetry::TimeSeries &bw = reg.timeSeries(
+            "provision.ip_bandwidth",
+            "sufficient per-IP bandwidth (bytes/s) keyed by IP "
+            "index");
+        for (size_t i = 0; i < r.soc.numIps(); ++i)
+            bw.sample(static_cast<double>(i),
+                      r.soc.ip(i).bandwidth);
+
+        telemetry::RunReport report("gables provision",
+                                    start.name());
+        report.addConfig("requirements",
+                         static_cast<long>(reqs.size()));
+        report.setRegistry(&reg);
+        writeReport(report, args.getString("metrics"));
+    }
     return 0;
 }
 
@@ -993,25 +1344,33 @@ cmdValidate(int argc, const char *const *argv)
 void
 usage(std::ostream &out)
 {
-    out << "usage: gables [--log-level L] <command> [options]\n"
+    out << "usage: gables [--log-level L] [--profile] <command> "
+           "[options]\n"
            "commands:\n"
-           "  eval      evaluate a usecase on a SoC\n"
-           "  sweep     mixing sweep over the work fraction\n"
-           "  sim       simulate a SoC with telemetry (metrics JSON\n"
-           "            + Perfetto trace with counter tracks)\n"
-           "  usecases  analyze the catalog usecases\n"
-           "  ert       empirical roofline on the simulated chip\n"
-           "  balance   balance report and sufficient bandwidths\n"
-           "  advise    rank design moves (supports --file configs)\n"
-           "  robust    Monte-Carlo robustness of an estimate\n"
-           "  pipeline  frame-pipeline simulation of a usecase\n"
-           "  explore   design-space exploration with Pareto output\n"
-           "  provision shrink-to-fit inverse design for the catalog\n"
-           "  validate  lint a config file without running anything\n"
-           "  glossary  the Gables parameter glossary (Table II)\n"
+           "  eval        evaluate a usecase on a SoC\n"
+           "  sweep       mixing sweep over the work fraction\n"
+           "  sim         simulate a SoC with telemetry (metrics JSON\n"
+           "              + Perfetto trace with counter tracks)\n"
+           "  usecases    analyze the catalog usecases\n"
+           "  ert         empirical roofline on the simulated chip\n"
+           "  balance     balance report and sufficient bandwidths\n"
+           "  advise      rank design moves (supports --file configs)\n"
+           "  sensitivity parameter elasticities of the bound\n"
+           "  robust      Monte-Carlo robustness of an estimate\n"
+           "  pipeline    frame-pipeline simulation of a usecase\n"
+           "  explore     design-space exploration with Pareto output\n"
+           "  provision   shrink-to-fit inverse design for the "
+           "catalog\n"
+           "  report      show or diff run-report JSON artifacts\n"
+           "  validate    lint a config file without running anything\n"
+           "  glossary    the Gables parameter glossary (Table II)\n"
            "global options:\n"
            "  --log-level L  minimum severity written to stderr:\n"
            "                 debug, info (default), warn, error\n"
+           "  --profile      trace the tool's own phases: adds a\n"
+           "                 'profile' subtree to --metrics reports,\n"
+           "                 span slices to --trace output, and a\n"
+           "                 summary table on stderr\n"
            "exit codes: 0 success, 1 data/config error, 2 usage "
            "error (see docs/ERRORS.md)\n"
            "run 'gables <command> --help' for per-command options\n";
@@ -1022,9 +1381,10 @@ usage(std::ostream &out)
 int
 main(int argc, char **argv)
 {
-    // Strip the global --log-level option (valid anywhere on the
-    // command line) before command dispatch, so every subcommand
-    // honors it without declaring it.
+    // Strip the global --log-level and --profile options (valid
+    // anywhere on the command line) before command dispatch, so
+    // every subcommand honors them without declaring them.
+    bool profile = false;
     std::vector<const char *> filtered;
     try {
         for (int i = 0; i < argc; ++i) {
@@ -1038,6 +1398,8 @@ main(int argc, char **argv)
             } else if (arg.rfind("--log-level=", 0) == 0) {
                 gables::setLogLevel(gables::parseLogLevel(
                     arg.substr(std::string("--log-level=").size())));
+            } else if (arg == "--profile") {
+                profile = true;
             } else {
                 filtered.push_back(argv[i]);
             }
@@ -1054,37 +1416,56 @@ main(int argc, char **argv)
         return kExitUsage;
     }
     std::string cmd = fargv[1];
+
+    // The tracer outlives every span (static), and stays inactive —
+    // one never-taken branch per instrumentation site — unless
+    // --profile was given.
+    static gables::telemetry::SpanTracer tracer;
+    if (profile)
+        gables::telemetry::SpanTracer::setActive(&tracer);
+
+    int code = kExitUsage;
+    bool known = true;
     try {
+        // Root span around the whole command, so the profile's top
+        // level reads "gables.<cmd>" and totals track wall time.
+        std::string root = "gables." + cmd;
+        gables::telemetry::ScopedSpan span(root.c_str());
         if (cmd == "eval")
-            return cmdEval(fargc - 1, fargv + 1);
-        if (cmd == "sweep")
-            return cmdSweep(fargc - 1, fargv + 1);
-        if (cmd == "sim")
-            return cmdSim(fargc - 1, fargv + 1);
-        if (cmd == "usecases")
-            return cmdUsecases(fargc - 1, fargv + 1);
-        if (cmd == "ert")
-            return cmdErt(fargc - 1, fargv + 1);
-        if (cmd == "balance")
-            return cmdBalance(fargc - 1, fargv + 1);
-        if (cmd == "advise")
-            return cmdAdvise(fargc - 1, fargv + 1);
-        if (cmd == "robust")
-            return cmdRobust(fargc - 1, fargv + 1);
-        if (cmd == "pipeline")
-            return cmdPipeline(fargc - 1, fargv + 1);
-        if (cmd == "explore")
-            return cmdExplore(fargc - 1, fargv + 1);
-        if (cmd == "provision")
-            return cmdProvision(fargc - 1, fargv + 1);
-        if (cmd == "validate")
-            return cmdValidate(fargc - 1, fargv + 1);
-        if (cmd == "glossary")
-            return cmdGlossary(fargc - 1, fargv + 1);
-        if (cmd == "--help" || cmd == "help") {
+            code = cmdEval(fargc - 1, fargv + 1);
+        else if (cmd == "sweep")
+            code = cmdSweep(fargc - 1, fargv + 1);
+        else if (cmd == "sim")
+            code = cmdSim(fargc - 1, fargv + 1);
+        else if (cmd == "usecases")
+            code = cmdUsecases(fargc - 1, fargv + 1);
+        else if (cmd == "ert")
+            code = cmdErt(fargc - 1, fargv + 1);
+        else if (cmd == "balance")
+            code = cmdBalance(fargc - 1, fargv + 1);
+        else if (cmd == "advise")
+            code = cmdAdvise(fargc - 1, fargv + 1);
+        else if (cmd == "sensitivity")
+            code = cmdSensitivity(fargc - 1, fargv + 1);
+        else if (cmd == "robust")
+            code = cmdRobust(fargc - 1, fargv + 1);
+        else if (cmd == "pipeline")
+            code = cmdPipeline(fargc - 1, fargv + 1);
+        else if (cmd == "explore")
+            code = cmdExplore(fargc - 1, fargv + 1);
+        else if (cmd == "provision")
+            code = cmdProvision(fargc - 1, fargv + 1);
+        else if (cmd == "report")
+            code = cmdReport(fargc - 1, fargv + 1);
+        else if (cmd == "validate")
+            code = cmdValidate(fargc - 1, fargv + 1);
+        else if (cmd == "glossary")
+            code = cmdGlossary(fargc - 1, fargv + 1);
+        else if (cmd == "--help" || cmd == "help") {
             usage(std::cout);
-            return kExitOk;
-        }
+            code = kExitOk;
+        } else
+            known = false;
     } catch (const gables::ConfigError &err) {
         // The what() already carries the file:line location.
         std::cerr << "gables: " << err.what() << '\n';
@@ -1093,13 +1474,19 @@ main(int argc, char **argv)
         std::cerr << "gables: error: " << err.what() << '\n';
         return kExitError;
     }
-    std::cerr << "gables: unknown command '" << cmd << "'"
-              << gables::didYouMean(
-                     cmd, {"eval", "sweep", "sim", "usecases", "ert",
-                           "balance", "advise", "robust", "pipeline",
-                           "explore", "provision", "validate",
-                           "glossary", "help"})
-              << '\n';
-    usage(std::cerr);
-    return kExitUsage;
+    if (!known) {
+        std::cerr << "gables: unknown command '" << cmd << "'"
+                  << gables::didYouMean(
+                         cmd, {"eval", "sweep", "sim", "usecases",
+                               "ert", "balance", "advise",
+                               "sensitivity", "robust", "pipeline",
+                               "explore", "provision", "report",
+                               "validate", "glossary", "help"})
+                  << '\n';
+        usage(std::cerr);
+        return kExitUsage;
+    }
+    if (profile)
+        std::cerr << tracer.summaryTable();
+    return code;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "telemetry/span.h"
 #include "util/logging.h"
 
 namespace gables {
@@ -17,6 +18,10 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 GablesEvaluator::GablesEvaluator(const SocSpec &soc,
                                  const Usecase &usecase)
 {
+    // Per-construction only; attainable() stays uninstrumented — at
+    // tens of millions of evals per second even a disabled span's
+    // atomic load would show up in the grid benchmarks.
+    GABLES_SPAN("evaluator.compile");
     // The same pair check every GablesModel entry point performs,
     // paid once at compile time instead of per grid point.
     soc.validate();
@@ -213,6 +218,7 @@ GablesEvaluator::attainable()
 void
 GablesEvaluator::evaluate(GablesResult &out)
 {
+    GABLES_SPAN("evaluator.evaluate");
     ++evals_;
     refresh();
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/span.h"
 #include "util/logging.h"
 
 namespace gables {
@@ -14,6 +15,7 @@ ErtSample
 measure(sim::SimSoc &soc, const std::string &engine_name,
         const sim::KernelJob &job)
 {
+    GABLES_SPAN("ert.trial");
     sim::SocRunStats stats = soc.run({{engine_name, job}});
     const sim::EngineRunStats &e = stats.engine(engine_name);
 

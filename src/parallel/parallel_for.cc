@@ -4,6 +4,7 @@
 #include <chrono>
 #include <limits>
 
+#include "telemetry/span.h"
 #include "util/logging.h"
 
 namespace gables {
@@ -59,6 +60,10 @@ ThreadPool::workerLoop(int worker)
     uint64_t seen = 0;
     while (true) {
         {
+            // The idle span closes before the busy one opens, so the
+            // profile cleanly splits a worker's life into wait vs
+            // work time.
+            telemetry::ScopedSpan idle("parallel.idle");
             std::unique_lock<std::mutex> lock(mutex_);
             wake_.wait(lock, [&] {
                 return stopping_ || generation_ != seen;
@@ -79,6 +84,7 @@ ThreadPool::workerLoop(int worker)
 void
 ThreadPool::runWorker(int worker)
 {
+    GABLES_SPAN("parallel.worker");
     auto start = std::chrono::steady_clock::now();
     tls_inside_loop = true;
     // Claim chunks in monotonically increasing order. After any

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/span.h"
 #include "telemetry/stats.h"
 #include "util/logging.h"
 
@@ -206,6 +207,7 @@ SimSoc::run(const std::vector<JobSubmission> &jobs, int epochs)
     if (epochs > 0 && registry_ == nullptr)
         fatal("SimSoc::run: epoch sampling needs an attached "
               "telemetry registry (attachTelemetry)");
+    GABLES_SPAN("sim.run");
     resetAll();
     GABLES_DLOG("SimSoc::run: " + name_ + ", " +
                 std::to_string(jobs.size()) + " job(s), " +
@@ -312,8 +314,10 @@ SimSoc::run(const std::vector<JobSubmission> &jobs, int epochs)
             .set(static_cast<double>(log_bytes));
     }
 
-    if (epochs > 0)
+    if (epochs > 0) {
+        GABLES_SPAN("sim.epochs");
         sampleEpochSeries(stats, epochs);
+    }
     return stats;
 }
 

@@ -1,5 +1,6 @@
 #include "telemetry/report.h"
 
+#include "telemetry/span.h"
 #include "telemetry/stats.h"
 #include "util/json_writer.h"
 
@@ -120,6 +121,11 @@ RunReport::write(std::ostream &out) const
             json.endObject();
         }
         json.endArray();
+    }
+
+    if (tracer_ != nullptr) {
+        json.key("profile");
+        tracer_->writeProfile(json);
     }
 
     json.key("stats");

@@ -19,6 +19,7 @@
 namespace gables {
 namespace telemetry {
 
+class SpanTracer;
 class StatsRegistry;
 
 /**
@@ -99,6 +100,14 @@ class RunReport
         registry_ = registry;
     }
 
+    /**
+     * Attach the span tracer whose snapshot becomes the "profile"
+     * section (omitted when nullptr); must outlive write(). Passing
+     * SpanTracer::active() directly is safe: it is nullptr whenever
+     * --profile is off, keeping the report byte-identical.
+     */
+    void setProfile(const SpanTracer *tracer) { tracer_ = tracer; }
+
     /** Emit the report JSON (pretty-printed) to @p out. */
     void write(std::ostream &out) const;
 
@@ -119,6 +128,7 @@ class RunReport
     std::vector<ResourceRow> resources_;
     std::vector<DeltaRow> deltas_;
     const StatsRegistry *registry_ = nullptr;
+    const SpanTracer *tracer_ = nullptr;
 };
 
 } // namespace telemetry

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Field-by-field comparison of two RunReport JSON documents with
+ * per-field numeric tolerances — the diffing backbone behind
+ * `gables report diff` and the CI bench-baseline gate. The walk is
+ * structural (parsed DOM, not text), paths are dotted with [i] array
+ * indices, and the "schema" subtree is always compared exactly so a
+ * version bump can never hide inside a tolerance.
+ *
+ * Two numeric modes:
+ *  - symmetric tolerance (default): a and b match when
+ *    |a - b| <= tolAbs + tolRel * max(|a|, |b|);
+ *  - one-sided ratio gating (minRatio >= 0): b fails only when
+ *    b / a < minRatio, i.e. "the new value may be better without
+ *    bound, but not worse than this fraction of the baseline" — the
+ *    shape CI perf gates need.
+ */
+
+#ifndef GABLES_TELEMETRY_REPORT_DIFF_H
+#define GABLES_TELEMETRY_REPORT_DIFF_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gables {
+
+class JsonValue;
+
+namespace telemetry {
+
+/** Options steering a report comparison. */
+struct ReportDiffOptions {
+    /** Relative tolerance for numeric fields. */
+    double tolRel = 0.0;
+    /** Absolute tolerance for numeric fields. */
+    double tolAbs = 0.0;
+    /**
+     * When >= 0, numeric fields are gated one-sidedly instead:
+     * fail only if b / a < minRatio (with a > 0). Non-positive
+     * baselines fall back to the symmetric tolerance check.
+     */
+    double minRatio = -1.0;
+    /**
+     * Paths to skip. An entry matches a field when it equals any
+     * single segment of the field's dotted path (so "seconds"
+     * ignores every field named seconds at any depth) or when the
+     * path starts with "<entry>." (subtree ignore). Keys may
+     * themselves contain dots ("DRAM.wait_time"), so segment
+     * matching compares whole member keys, not dot-split pieces.
+     */
+    std::vector<std::string> ignore;
+    /** Stop collecting after this many differences. */
+    size_t maxDiffs = 100;
+};
+
+/** One differing field. */
+struct FieldDiff {
+    /** Dotted path, e.g. "stats.queue.events_executed.value". */
+    std::string path;
+    /** Human reason: "value", "type", "missing in A/B", ... */
+    std::string reason;
+    /** Rendering of the field in A ("-" when absent). */
+    std::string a;
+    /** Rendering of the field in B ("-" when absent). */
+    std::string b;
+};
+
+/** The outcome of a comparison. */
+struct ReportDiffResult {
+    /** Differences in walk order, capped at options.maxDiffs. */
+    std::vector<FieldDiff> diffs;
+    /** Leaf fields compared (ignored fields excluded). */
+    size_t fieldsCompared = 0;
+    /** True when the diff list was capped. */
+    bool truncated = false;
+
+    /** @return True when no differences survived the tolerances. */
+    bool identical() const { return diffs.empty(); }
+};
+
+/**
+ * Compare two parsed report documents.
+ *
+ * @param a    Baseline document.
+ * @param b    Candidate document.
+ * @param opts Tolerances and ignore list.
+ */
+ReportDiffResult diffReports(const JsonValue &a, const JsonValue &b,
+                             const ReportDiffOptions &opts = {});
+
+/** Render @p result as a human-readable listing, one line per diff. */
+std::string formatDiff(const ReportDiffResult &result);
+
+} // namespace telemetry
+} // namespace gables
+
+#endif // GABLES_TELEMETRY_REPORT_DIFF_H

@@ -1,0 +1,352 @@
+#include "telemetry/span.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/json_writer.h"
+#include "util/strings.h"
+
+namespace gables {
+namespace telemetry {
+
+namespace {
+
+/** The process-wide active tracer (nullptr = profiling off). */
+std::atomic<SpanTracer *> g_active{nullptr};
+
+/** Unique ids so a thread-local cache survives tracer churn (a new
+ * tracer allocated at a dead one's address must not reuse its thread
+ * state). */
+std::atomic<uint64_t> g_next_id{1};
+
+/** Per-thread cache of the last tracer this thread registered with. */
+struct TlsCache {
+    uint64_t tracerId = 0;
+    void *state = nullptr;
+};
+thread_local TlsCache tls_cache;
+
+} // namespace
+
+SpanTracer::SpanTracer()
+    : id_(g_next_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now())
+{}
+
+SpanTracer::~SpanTracer()
+{
+    // Deactivate on destruction so a dangling active pointer can
+    // never outlive the tracer it points at.
+    SpanTracer *self = this;
+    g_active.compare_exchange_strong(self, nullptr,
+                                     std::memory_order_acq_rel);
+}
+
+SpanTracer *
+SpanTracer::active()
+{
+    return g_active.load(std::memory_order_acquire);
+}
+
+void
+SpanTracer::setActive(SpanTracer *tracer)
+{
+    g_active.store(tracer, std::memory_order_release);
+}
+
+double
+SpanTracer::now() const
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+double
+SpanTracer::wallSeconds() const
+{
+    return now();
+}
+
+SpanTracer::ThreadState &
+SpanTracer::threadState()
+{
+    if (tls_cache.tracerId == id_)
+        return *static_cast<ThreadState *>(tls_cache.state);
+    std::lock_guard<std::mutex> lock(mutex_);
+    threads_.push_back(std::make_unique<ThreadState>());
+    ThreadState &st = *threads_.back();
+    st.index = static_cast<uint32_t>(threads_.size() - 1);
+    tls_cache.tracerId = id_;
+    tls_cache.state = &st;
+    return st;
+}
+
+void
+SpanTracer::begin(const char *name)
+{
+    ThreadState &st = threadState();
+    Node *parent = st.stack.empty() ? &st.root : st.stack.back().node;
+    Node *node = nullptr;
+    for (const auto &c : parent->children) {
+        if (c->name == name) {
+            node = c.get();
+            break;
+        }
+    }
+    if (node == nullptr) {
+        parent->children.push_back(std::make_unique<Node>());
+        node = parent->children.back().get();
+        node->name = name;
+        node->parent = parent;
+    }
+    st.stack.push_back(OpenSpan{node, now()});
+}
+
+void
+SpanTracer::end()
+{
+    ThreadState &st = threadState();
+    if (st.stack.empty())
+        return; // mispaired end: ignore rather than crash the tool
+    OpenSpan open = st.stack.back();
+    st.stack.pop_back();
+    double duration = now() - open.startSeconds;
+    open.node->count += 1;
+    open.node->totalSeconds += duration;
+    if (st.log.size() < kMaxEventsPerThread)
+        st.log.push_back(
+            RecordedSpan{open.node, open.startSeconds, duration});
+    else
+        ++st.dropped;
+}
+
+size_t
+SpanTracer::threadCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return threads_.size();
+}
+
+uint64_t
+SpanTracer::droppedEvents() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    uint64_t dropped = 0;
+    for (const auto &t : threads_)
+        dropped += t->dropped;
+    return dropped;
+}
+
+namespace {
+
+/** Add @p from (plus open-span elapsed) into the merged node @p to,
+ * matching children by name in first-seen order. */
+void
+mergeNode(ProfileNode &to, const ProfileNode &from)
+{
+    to.count += from.count;
+    to.totalSeconds += from.totalSeconds;
+    for (const ProfileNode &child : from.children) {
+        ProfileNode *slot = nullptr;
+        for (ProfileNode &c : to.children) {
+            if (c.name == child.name) {
+                slot = &c;
+                break;
+            }
+        }
+        if (slot == nullptr) {
+            to.children.push_back(
+                ProfileNode{child.name, 0, 0.0, 0.0, {}});
+            slot = &to.children.back();
+        }
+        mergeNode(*slot, child);
+    }
+}
+
+/** Compute self = total - sum(child totals) over the whole tree. */
+void
+computeSelf(ProfileNode &node)
+{
+    double child_total = 0.0;
+    for (ProfileNode &c : node.children) {
+        computeSelf(c);
+        child_total += c.totalSeconds;
+    }
+    node.selfSeconds = std::max(0.0, node.totalSeconds - child_total);
+}
+
+} // namespace
+
+ProfileNode
+SpanTracer::snapshot() const
+{
+    double snap_now = now();
+    ProfileNode merged;
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &t : threads_) {
+        // Elapsed-so-far of this thread's open spans, keyed by node
+        // (a recursive span can appear twice in the stack).
+        std::unordered_map<const Node *, double> open_elapsed;
+        std::unordered_map<const Node *, uint64_t> open_count;
+        for (const OpenSpan &o : t->stack) {
+            open_elapsed[o.node] += snap_now - o.startSeconds;
+            open_count[o.node] += 1;
+        }
+
+        // Copy this thread's tree with the open-span adjustments,
+        // then merge the copy into the aggregate.
+        struct Copier {
+            const std::unordered_map<const Node *, double> &elapsed;
+            const std::unordered_map<const Node *, uint64_t> &count;
+            ProfileNode operator()(const Node &n) const
+            {
+                ProfileNode out;
+                out.name = n.name;
+                out.count = n.count;
+                out.totalSeconds = n.totalSeconds;
+                auto e = elapsed.find(&n);
+                if (e != elapsed.end())
+                    out.totalSeconds += e->second;
+                auto c = count.find(&n);
+                if (c != count.end())
+                    out.count += c->second;
+                out.children.reserve(n.children.size());
+                for (const auto &child : n.children)
+                    out.children.push_back((*this)(*child));
+                return out;
+            }
+        };
+        ProfileNode copy =
+            Copier{open_elapsed, open_count}(t->root);
+        mergeNode(merged, copy);
+    }
+    // The synthetic root never carries its own time.
+    merged.name.clear();
+    merged.count = 0;
+    merged.totalSeconds = 0.0;
+    computeSelf(merged);
+    merged.selfSeconds = 0.0;
+    return merged;
+}
+
+namespace {
+
+void
+writeProfileNode(JsonWriter &json, const ProfileNode &node)
+{
+    json.beginObject();
+    json.kv("name", node.name);
+    json.kv("count", static_cast<size_t>(node.count));
+    json.kv("total_s", node.totalSeconds);
+    json.kv("self_s", node.selfSeconds);
+    if (!node.children.empty()) {
+        json.key("children");
+        json.beginArray();
+        for (const ProfileNode &c : node.children)
+            writeProfileNode(json, c);
+        json.endArray();
+    }
+    json.endObject();
+}
+
+} // namespace
+
+void
+SpanTracer::writeProfile(JsonWriter &json) const
+{
+    ProfileNode root = snapshot();
+    json.beginObject();
+    json.kv("wall_s", wallSeconds());
+    json.kv("threads", threadCount());
+    json.kv("events_dropped", static_cast<size_t>(droppedEvents()));
+    json.key("spans");
+    json.beginArray();
+    for (const ProfileNode &c : root.children)
+        writeProfileNode(json, c);
+    json.endArray();
+    json.endObject();
+}
+
+std::vector<SpanEvent>
+SpanTracer::events() const
+{
+    std::vector<SpanEvent> out;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &t : threads_) {
+        for (const RecordedSpan &r : t->log) {
+            SpanEvent ev;
+            ev.name = r.node->name;
+            // Dotted path from the outermost span down to the leaf.
+            std::vector<const Node *> chain;
+            for (const Node *n = r.node;
+                 n != nullptr && n->parent != nullptr; n = n->parent)
+                chain.push_back(n);
+            for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+                if (!ev.path.empty())
+                    ev.path += '.';
+                ev.path += (*it)->name;
+            }
+            ev.thread = t->index;
+            ev.startSeconds = r.startSeconds;
+            ev.durationSeconds = r.durationSeconds;
+            out.push_back(std::move(ev));
+        }
+    }
+    return out;
+}
+
+namespace {
+
+void
+summaryLine(std::string &out, const ProfileNode &node, int depth,
+            double root_total)
+{
+    std::string name(static_cast<size_t>(depth) * 2, ' ');
+    name += node.name;
+    if (name.size() < 34)
+        name.resize(34, ' ');
+    std::string count = std::to_string(node.count);
+    if (count.size() < 8)
+        count.insert(0, 8 - count.size(), ' ');
+    auto ms = [](double s) {
+        std::string v = formatDouble(s * 1e3, 3) + "ms";
+        if (v.size() < 12)
+            v.insert(0, 12 - v.size(), ' ');
+        return v;
+    };
+    double share =
+        root_total > 0.0 ? 100.0 * node.totalSeconds / root_total : 0.0;
+    std::string pct = formatDouble(share, 1) + "%";
+    if (pct.size() < 7)
+        pct.insert(0, 7 - pct.size(), ' ');
+    out += name + count + ms(node.totalSeconds) + ms(node.selfSeconds) +
+           pct + '\n';
+    for (const ProfileNode &c : node.children)
+        summaryLine(out, c, depth + 1, root_total);
+}
+
+} // namespace
+
+std::string
+SpanTracer::summaryTable() const
+{
+    ProfileNode root = snapshot();
+    double root_total = 0.0;
+    for (const ProfileNode &c : root.children)
+        root_total += c.totalSeconds;
+    std::string out;
+    out += "span                                 count     total"
+           "        self  share\n";
+    for (const ProfileNode &c : root.children)
+        summaryLine(out, c, 0, root_total);
+    uint64_t dropped = droppedEvents();
+    if (dropped > 0)
+        out += "(" + std::to_string(dropped) +
+               " span event(s) dropped from the export log)\n";
+    return out;
+}
+
+} // namespace telemetry
+} // namespace gables

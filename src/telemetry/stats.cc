@@ -4,6 +4,7 @@
 
 #include "util/json_writer.h"
 #include "util/logging.h"
+#include "util/parse.h"
 
 namespace gables {
 namespace telemetry {
@@ -128,10 +129,42 @@ StatsRegistry::Entry &
 StatsRegistry::require(const std::string &name, const std::string &desc,
                        Kind kind)
 {
+    auto kindName = [](Kind k) -> const char * {
+        switch (k) {
+        case Kind::Counter:
+            return "counter";
+        case Kind::Gauge:
+            return "gauge";
+        case Kind::Distribution:
+            return "distribution";
+        case Kind::Histogram:
+            return "histogram";
+        case Kind::TimeSeries:
+            return "timeseries";
+        }
+        return "?";
+    };
     if (Entry *e = find(name)) {
         if (e->kind != kind)
-            fatal("stat '" + name +
-                  "' is already registered as a different kind");
+            configError(SourceLoc{"stats-registry", 0},
+                        "stat '" + name + "' is already registered as "
+                        "a " + kindName(e->kind) +
+                        "; cannot re-register it as a " +
+                        kindName(kind));
+        // Re-attaching under the same name and kind is the supported
+        // contract (components reconnect across runs); only flag it
+        // when the descriptions disagree, which usually means two
+        // unrelated components collided on a name.
+        if (!desc.empty() && !e->desc.empty() && desc != e->desc) {
+            ++duplicates_;
+            if (!e->dupWarned) {
+                e->dupWarned = true;
+                warn("stat '" + name +
+                     "' registered twice with conflicting "
+                     "descriptions: \"" + e->desc + "\" vs \"" + desc +
+                     "\" (keeping the first)");
+            }
+        }
         return *e;
     }
     entries_.push_back(std::make_unique<Entry>());

@@ -171,8 +171,10 @@ class TimeSeries
  * The registry: owns named stats and hands out stable references.
  * Registering an existing name returns the existing stat (so a
  * component can re-attach across runs); registering it as a
- * different kind is a fatal error. Dump order is registration order,
- * so reports are deterministic.
+ * different kind raises a located ConfigError, and a same-kind
+ * re-registration with a conflicting description warns once and
+ * counts in duplicateRegistrations(). Dump order is registration
+ * order, so reports are deterministic.
  */
 class StatsRegistry
 {
@@ -219,6 +221,11 @@ class StatsRegistry
     /** @return Number of registered stats. */
     size_t size() const { return entries_.size(); }
 
+    /** @return Same-kind re-registrations whose descriptions
+     * conflicted with the original (each occurrence counts; the
+     * warning itself is emitted once per name). */
+    uint64_t duplicateRegistrations() const { return duplicates_; }
+
     /** Zero every stat's value but keep all registrations. */
     void resetValues();
 
@@ -236,6 +243,7 @@ class StatsRegistry
         std::string name;
         std::string desc;
         Kind kind;
+        bool dupWarned = false;
         std::unique_ptr<Counter> counter;
         std::unique_ptr<class Gauge> gauge;
         std::unique_ptr<Distribution> distribution;
@@ -249,6 +257,7 @@ class StatsRegistry
                    Kind kind);
 
     std::vector<std::unique_ptr<Entry>> entries_;
+    uint64_t duplicates_ = 0;
 };
 
 } // namespace telemetry

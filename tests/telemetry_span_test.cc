@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Tests of the self-profiling span tracer: nesting and self-time
+ * accounting, cross-thread aggregation, open-span snapshots, the
+ * disabled-tracer no-op path, the per-thread event-log cap, and the
+ * JSON "profile" emission (validated by parsing it back).
+ */
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/span.h"
+#include "util/json_reader.h"
+#include "util/json_writer.h"
+
+namespace gables {
+namespace telemetry {
+namespace {
+
+/** Installs a tracer for the test body and always deactivates it. */
+class ActiveTracer
+{
+  public:
+    ActiveTracer() { SpanTracer::setActive(&tracer_); }
+    ~ActiveTracer() { SpanTracer::setActive(nullptr); }
+    SpanTracer &operator*() { return tracer_; }
+    SpanTracer *operator->() { return &tracer_; }
+
+  private:
+    SpanTracer tracer_;
+};
+
+void
+spinFor(double seconds)
+{
+    auto until = std::chrono::steady_clock::now() +
+                 std::chrono::duration<double>(seconds);
+    while (std::chrono::steady_clock::now() < until) {
+    }
+}
+
+const ProfileNode *
+findChild(const ProfileNode &node, const std::string &name)
+{
+    for (const ProfileNode &c : node.children)
+        if (c.name == name)
+            return &c;
+    return nullptr;
+}
+
+TEST(ScopedSpan, NoActiveTracerIsANoOp)
+{
+    ASSERT_EQ(SpanTracer::active(), nullptr);
+    {
+        GABLES_SPAN("ignored");
+        ScopedSpan also_ignored("ignored too");
+    }
+    EXPECT_EQ(SpanTracer::active(), nullptr);
+}
+
+TEST(SpanTracer, NestingAggregatesCountsAndSelfTime)
+{
+    ActiveTracer tracer;
+    for (int rep = 0; rep < 3; ++rep) {
+        GABLES_SPAN("outer");
+        spinFor(0.002);
+        {
+            GABLES_SPAN("inner");
+            spinFor(0.002);
+        }
+    }
+
+    ProfileNode root = tracer->snapshot();
+    ASSERT_EQ(root.children.size(), 1u);
+    const ProfileNode &outer = root.children[0];
+    EXPECT_EQ(outer.name, "outer");
+    EXPECT_EQ(outer.count, 3u);
+    ASSERT_EQ(outer.children.size(), 1u);
+    const ProfileNode &inner = outer.children[0];
+    EXPECT_EQ(inner.name, "inner");
+    EXPECT_EQ(inner.count, 3u);
+
+    // The child's time is inside the parent's total but not its self.
+    EXPECT_GE(outer.totalSeconds, inner.totalSeconds);
+    EXPECT_NEAR(outer.selfSeconds,
+                outer.totalSeconds - inner.totalSeconds, 1e-9);
+    EXPECT_GE(inner.totalSeconds, 0.9 * 3 * 0.002);
+    EXPECT_GE(outer.selfSeconds, 0.9 * 3 * 0.002);
+}
+
+TEST(SpanTracer, SameNameSiblingsMergeDistinctNamesDoNot)
+{
+    ActiveTracer tracer;
+    {
+        GABLES_SPAN("phase");
+        { GABLES_SPAN("a"); }
+        { GABLES_SPAN("b"); }
+        { GABLES_SPAN("a"); }
+    }
+    ProfileNode root = tracer->snapshot();
+    const ProfileNode *phase = findChild(root, "phase");
+    ASSERT_NE(phase, nullptr);
+    ASSERT_EQ(phase->children.size(), 2u);
+    // First-entry order is preserved by the merge.
+    EXPECT_EQ(phase->children[0].name, "a");
+    EXPECT_EQ(phase->children[0].count, 2u);
+    EXPECT_EQ(phase->children[1].name, "b");
+    EXPECT_EQ(phase->children[1].count, 1u);
+}
+
+TEST(SpanTracer, ThreadsAggregateIntoOneTree)
+{
+    ActiveTracer tracer;
+    constexpr int kThreads = 4;
+    {
+        GABLES_SPAN("main.phase");
+        std::vector<std::thread> pool;
+        for (int t = 0; t < kThreads; ++t)
+            pool.emplace_back([] {
+                GABLES_SPAN("worker");
+                spinFor(0.001);
+            });
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    // Main thread plus each worker registered its own state.
+    EXPECT_EQ(tracer->threadCount(), 1u + kThreads);
+
+    ProfileNode root = tracer->snapshot();
+    // Workers open "worker" as an outermost span on their threads, so
+    // it merges as a root child, not under "main.phase".
+    const ProfileNode *worker = findChild(root, "worker");
+    ASSERT_NE(worker, nullptr);
+    EXPECT_EQ(worker->count, static_cast<uint64_t>(kThreads));
+    const ProfileNode *phase = findChild(root, "main.phase");
+    ASSERT_NE(phase, nullptr);
+    EXPECT_EQ(phase->count, 1u);
+}
+
+TEST(SpanTracer, OpenSpanContributesElapsedAtSnapshot)
+{
+    ActiveTracer tracer;
+    tracer->begin("still.open");
+    spinFor(0.002);
+
+    ProfileNode root = tracer->snapshot();
+    const ProfileNode *open = findChild(root, "still.open");
+    ASSERT_NE(open, nullptr);
+    EXPECT_EQ(open->count, 1u);
+    EXPECT_GE(open->totalSeconds, 0.9 * 0.002);
+    tracer->end();
+}
+
+TEST(SpanTracer, RootSpanTotalTracksWallTime)
+{
+    ActiveTracer tracer;
+    // Mirrors the CLI: the root span opens right after the tracer is
+    // installed and is still open when the report is written.
+    tracer->begin("gables.cmd");
+    spinFor(0.02);
+
+    ProfileNode root = tracer->snapshot();
+    double wall = tracer->wallSeconds();
+    ASSERT_EQ(root.children.size(), 1u);
+    double total = root.children[0].totalSeconds;
+    EXPECT_GT(total, 0.0);
+    // Acceptance criterion: root span total within 5% of wall time.
+    EXPECT_NEAR(total, wall, 0.05 * wall);
+    tracer->end();
+}
+
+TEST(SpanTracer, EventsCarryDottedPathsAndThreadIndex)
+{
+    ActiveTracer tracer;
+    {
+        GABLES_SPAN("outer");
+        { GABLES_SPAN("inner"); }
+    }
+    std::vector<SpanEvent> events = tracer->events();
+    ASSERT_EQ(events.size(), 2u);
+    // Inner closes first, so it is recorded first.
+    EXPECT_EQ(events[0].name, "inner");
+    EXPECT_EQ(events[0].path, "outer.inner");
+    EXPECT_EQ(events[1].name, "outer");
+    EXPECT_EQ(events[1].path, "outer");
+    EXPECT_EQ(events[0].thread, 0u);
+    EXPECT_GE(events[1].durationSeconds, events[0].durationSeconds);
+    EXPECT_LE(events[1].startSeconds, events[0].startSeconds);
+}
+
+TEST(SpanTracer, EventLogCapsButAggregationDoesNot)
+{
+    ActiveTracer tracer;
+    const size_t extra = 10;
+    const size_t total = SpanTracer::kMaxEventsPerThread + extra;
+    for (size_t i = 0; i < total; ++i) {
+        GABLES_SPAN("tick");
+    }
+    EXPECT_EQ(tracer->droppedEvents(), extra);
+    EXPECT_EQ(tracer->events().size(),
+              SpanTracer::kMaxEventsPerThread);
+    ProfileNode root = tracer->snapshot();
+    const ProfileNode *tick = findChild(root, "tick");
+    ASSERT_NE(tick, nullptr);
+    EXPECT_EQ(tick->count, total);
+}
+
+TEST(SpanTracer, WriteProfileEmitsParsableJson)
+{
+    ActiveTracer tracer;
+    {
+        GABLES_SPAN("top");
+        { GABLES_SPAN("leaf"); }
+    }
+
+    std::ostringstream out;
+    JsonWriter json(out, false);
+    json.beginObject();
+    json.key("profile");
+    tracer->writeProfile(json);
+    json.endObject();
+    json.done();
+
+    JsonValue doc = parseJson(out.str());
+    const JsonValue &prof = doc.at("profile");
+    EXPECT_GT(prof.at("wall_s").asNumber(), 0.0);
+    EXPECT_DOUBLE_EQ(prof.at("threads").asNumber(), 1.0);
+    EXPECT_DOUBLE_EQ(prof.at("events_dropped").asNumber(), 0.0);
+    const JsonValue &spans = prof.at("spans");
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans.at(0).at("name").asString(), "top");
+    EXPECT_DOUBLE_EQ(spans.at(0).at("count").asNumber(), 1.0);
+    const JsonValue &kids = spans.at(0).at("children");
+    ASSERT_EQ(kids.size(), 1u);
+    EXPECT_EQ(kids.at(0).at("name").asString(), "leaf");
+    // Leaves omit an empty children array entirely.
+    EXPECT_FALSE(kids.at(0).has("children"));
+}
+
+TEST(SpanTracer, SummaryTableListsSpans)
+{
+    ActiveTracer tracer;
+    {
+        GABLES_SPAN("alpha");
+        { GABLES_SPAN("beta"); }
+    }
+    std::string table = tracer->summaryTable();
+    EXPECT_NE(table.find("alpha"), std::string::npos);
+    EXPECT_NE(table.find("beta"), std::string::npos);
+    EXPECT_NE(table.find("count"), std::string::npos);
+}
+
+TEST(SpanTracer, DeactivationStopsRecording)
+{
+    SpanTracer tracer;
+    SpanTracer::setActive(&tracer);
+    { GABLES_SPAN("recorded"); }
+    SpanTracer::setActive(nullptr);
+    { GABLES_SPAN("not.recorded"); }
+
+    ProfileNode root = tracer.snapshot();
+    EXPECT_NE(findChild(root, "recorded"), nullptr);
+    EXPECT_EQ(findChild(root, "not.recorded"), nullptr);
+}
+
+} // namespace
+} // namespace telemetry
+} // namespace gables

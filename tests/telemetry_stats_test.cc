@@ -126,6 +126,54 @@ TEST(StatsRegistry, KindMismatchIsFatal)
     EXPECT_THROW(reg.timeSeries("x"), FatalError);
 }
 
+TEST(StatsRegistry, KindMismatchDiagnosticNamesBothKinds)
+{
+    StatsRegistry reg;
+    reg.counter("x.requests");
+    try {
+        reg.gauge("x.requests");
+        FAIL() << "kind mismatch must throw";
+    } catch (const FatalError &err) {
+        std::string what = err.what();
+        EXPECT_NE(what.find("stats-registry"), std::string::npos);
+        EXPECT_NE(what.find("x.requests"), std::string::npos);
+        EXPECT_NE(what.find("counter"), std::string::npos);
+        EXPECT_NE(what.find("gauge"), std::string::npos);
+    }
+}
+
+TEST(StatsRegistry, ConflictingDescriptionsWarnOnceAndCount)
+{
+    StatsRegistry reg;
+    EXPECT_EQ(reg.duplicateRegistrations(), 0u);
+
+    Counter &a = reg.counter("x.requests", "requests served");
+    // Same name, kind, and description: the supported re-attach.
+    Counter &b = reg.counter("x.requests", "requests served");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(reg.duplicateRegistrations(), 0u);
+
+    // An empty description never conflicts.
+    reg.counter("x.requests");
+    EXPECT_EQ(reg.duplicateRegistrations(), 0u);
+
+    // A different non-empty description is a collision; it still
+    // returns the original stat but is counted every time.
+    Counter &c = reg.counter("x.requests", "bytes sent");
+    EXPECT_EQ(&a, &c);
+    EXPECT_EQ(reg.duplicateRegistrations(), 1u);
+    reg.counter("x.requests", "frames dropped");
+    EXPECT_EQ(reg.duplicateRegistrations(), 2u);
+
+    // The first description wins in the dump.
+    std::ostringstream out;
+    JsonWriter json(out, false);
+    reg.writeJson(json);
+    JsonValue root = parseJson(out.str());
+    EXPECT_EQ(root.at("x.requests").at("desc").asString(),
+              "requests served");
+}
+
 TEST(StatsRegistry, FindOfAbsentNameIsNull)
 {
     StatsRegistry reg;
