@@ -1,0 +1,213 @@
+#include "replay/replayer.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "soc/config.h"
+#include "telemetry/report.h"
+#include "telemetry/report_diff.h"
+#include "util/logging.h"
+#include "util/parse.h"
+
+namespace gables {
+namespace replay {
+
+namespace {
+
+/** Read a whole file, fataling with the path on failure. */
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open replay bundle '" + path + "'");
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+/**
+ * Scoped installation of the replay hooks: the bundle's config-file
+ * overrides and a fresh-report capture sink. Restores the previous
+ * hooks on destruction so replays nest under an active recorder.
+ */
+class ReplayHooks
+{
+  public:
+    explicit ReplayHooks(const ReplayBundle &bundle)
+        : overrides_(bundle.configFiles)
+    {
+        prevOverrides_ = setConfigFileOverrides(&overrides_);
+        prevSink_ =
+            telemetry::RunReport::setCaptureSink(&freshReport_);
+    }
+
+    ~ReplayHooks()
+    {
+        setConfigFileOverrides(prevOverrides_);
+        telemetry::RunReport::setCaptureSink(prevSink_);
+    }
+
+    ReplayHooks(const ReplayHooks &) = delete;
+    ReplayHooks &operator=(const ReplayHooks &) = delete;
+
+    /** @return The fresh RunReport JSON text ("" = none written). */
+    const std::string &freshReport() const { return freshReport_; }
+
+  private:
+    std::map<std::string, std::string> overrides_;
+    std::string freshReport_;
+    const std::map<std::string, std::string> *prevOverrides_ =
+        nullptr;
+    std::string *prevSink_ = nullptr;
+};
+
+/** Write the fresh report next to the recorded ones for offline
+ * diffing (CI uploads the directory as an artifact on mismatch). */
+void
+saveFreshReport(const std::string &bundle_path,
+                const std::string &dir, const std::string &fresh)
+{
+    if (dir.empty() || fresh.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    std::string stem =
+        std::filesystem::path(bundle_path).stem().string();
+    std::string out_path =
+        (std::filesystem::path(dir) / (stem + ".fresh.json"))
+            .string();
+    std::ofstream out(out_path);
+    if (!out) {
+        warn("cannot write fresh report '" + out_path + "'");
+        return;
+    }
+    out << fresh;
+}
+
+ReplayOutcome
+fail(int code, const std::string &status, const std::string &detail)
+{
+    ReplayOutcome outcome;
+    outcome.exitCode = code;
+    outcome.status = status;
+    outcome.detail = detail;
+    return outcome;
+}
+
+} // namespace
+
+ReplayOutcome
+replayBundle(const std::string &path, const CommandRunner &run,
+             const ReplayOptions &opts)
+{
+    // Bundle decoding errors are exit 2 (the artifact is unusable),
+    // mirroring how the CLI treats malformed command lines.
+    ReplayBundle bundle;
+    try {
+        bundle = parseBundle(parseJson(slurp(path)), path);
+    } catch (const ConfigError &err) {
+        return fail(2, "bad-bundle", err.what());
+    } catch (const FatalError &err) {
+        return fail(2, "bad-bundle", err.what());
+    }
+    if (bundle.subcommand() == "replay")
+        return fail(2, "bad-bundle",
+                    path + ": refusing to replay a nested 'replay' "
+                           "invocation");
+
+    ReplayOutcome outcome;
+    outcome.subcommand = bundle.subcommand();
+
+    int fresh_code = 0;
+    std::string fresh_json;
+    {
+        ReplayHooks hooks(bundle);
+        fresh_code = run(bundle.argv);
+        fresh_json = hooks.freshReport();
+    }
+    saveFreshReport(path, opts.saveFreshDir, fresh_json);
+
+    if (fresh_code != bundle.exitCode) {
+        outcome.exitCode = 1;
+        outcome.status = "exit-code-mismatch";
+        outcome.detail = "recorded exit code " +
+                         std::to_string(bundle.exitCode) +
+                         ", replay exited " +
+                         std::to_string(fresh_code);
+        return outcome;
+    }
+
+    if (!bundle.hasReport) {
+        if (!fresh_json.empty()) {
+            outcome.exitCode = 1;
+            outcome.status = "report-mismatch";
+            outcome.detail = "recorded run wrote no RunReport but "
+                             "the replay produced one";
+            return outcome;
+        }
+        outcome.status = "match";
+        return outcome;
+    }
+    if (fresh_json.empty()) {
+        outcome.exitCode = 1;
+        outcome.status = "report-mismatch";
+        outcome.detail = "recorded run wrote a RunReport but the "
+                         "replay produced none";
+        return outcome;
+    }
+
+    telemetry::ReportDiffOptions diff_opts;
+    diff_opts.tolRel = bundle.tolerance.tolRel;
+    diff_opts.tolAbs = bundle.tolerance.tolAbs;
+    diff_opts.ignore = bundle.tolerance.ignore;
+    diff_opts.ignore.insert(diff_opts.ignore.end(),
+                            opts.extraIgnore.begin(),
+                            opts.extraIgnore.end());
+    JsonValue fresh;
+    try {
+        fresh = parseJson(fresh_json);
+    } catch (const FatalError &err) {
+        outcome.exitCode = 1;
+        outcome.status = "report-mismatch";
+        outcome.detail =
+            std::string("fresh RunReport is unparseable: ") +
+            err.what();
+        return outcome;
+    }
+    telemetry::ReportDiffResult diff =
+        telemetry::diffReports(bundle.report, fresh, diff_opts);
+    outcome.fieldsCompared = diff.fieldsCompared;
+    outcome.diffCount = diff.diffs.size();
+    if (!diff.identical()) {
+        outcome.exitCode = 1;
+        outcome.status = "report-mismatch";
+        outcome.detail = telemetry::formatDiff(diff);
+        return outcome;
+    }
+    outcome.status = "match";
+    return outcome;
+}
+
+std::vector<std::string>
+listBundles(const std::string &dir)
+{
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir, ec);
+    if (ec)
+        fatal("cannot list replay corpus directory '" + dir +
+              "': " + ec.message());
+    std::vector<std::string> paths;
+    for (const std::filesystem::directory_entry &entry : it) {
+        if (entry.is_regular_file() &&
+            entry.path().extension() == ".json")
+            paths.push_back(entry.path().string());
+    }
+    std::sort(paths.begin(), paths.end());
+    return paths;
+}
+
+} // namespace replay
+} // namespace gables

@@ -1,5 +1,7 @@
 #include "telemetry/report.h"
 
+#include <sstream>
+
 #include "telemetry/span.h"
 #include "telemetry/stats.h"
 #include "util/json_writer.h"
@@ -52,8 +54,34 @@ RunReport::addDelta(const std::string &name, double model_ops_per_sec,
                                sim_ops_per_sec});
 }
 
+namespace {
+
+/** The record/replay capture sink (see setCaptureSink()). */
+std::string *g_capture_sink = nullptr;
+
+} // namespace
+
+std::string *
+RunReport::setCaptureSink(std::string *sink)
+{
+    std::string *prev = g_capture_sink;
+    g_capture_sink = sink;
+    return prev;
+}
+
 void
 RunReport::write(std::ostream &out) const
+{
+    writeTo(out);
+    if (g_capture_sink != nullptr) {
+        std::ostringstream oss;
+        writeTo(oss);
+        *g_capture_sink = oss.str();
+    }
+}
+
+void
+RunReport::writeTo(std::ostream &out) const
 {
     JsonWriter json(out, true);
     json.beginObject();

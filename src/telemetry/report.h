@@ -111,7 +111,23 @@ class RunReport
     /** Emit the report JSON (pretty-printed) to @p out. */
     void write(std::ostream &out) const;
 
+    /**
+     * Install a process-global capture sink: while non-null, every
+     * write() also stores the serialized report into *@p sink
+     * (latest write wins). This is the record/replay capture hook —
+     * the replay Recorder and the replayer both use it to observe
+     * the RunReport an invocation produces without changing any of
+     * the run's own outputs.
+     *
+     * @return The previously installed sink, so callers can nest
+     *         and restore (replay under an active recorder).
+     */
+    static std::string *setCaptureSink(std::string *sink);
+
   private:
+    /** The write() body; write() tees it into the capture sink. */
+    void writeTo(std::ostream &out) const;
+
     struct ConfigItem {
         std::string key;
         bool isNumber;

@@ -205,5 +205,17 @@ formatDiff(const ReportDiffResult &result)
     return out;
 }
 
+void
+addIgnoreSpecs(ReportDiffOptions &opts,
+               const std::vector<std::string> &specs)
+{
+    for (const std::string &spec : specs) {
+        for (const std::string &piece : split(spec, ',')) {
+            if (!piece.empty())
+                opts.ignore.push_back(piece);
+        }
+    }
+}
+
 } // namespace telemetry
 } // namespace gables

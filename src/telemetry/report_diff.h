@@ -92,6 +92,15 @@ ReportDiffResult diffReports(const JsonValue &a, const JsonValue &b,
 /** Render @p result as a human-readable listing, one line per diff. */
 std::string formatDiff(const ReportDiffResult &result);
 
+/**
+ * Append ignore patterns to @p opts from user-facing specs: each
+ * spec is split on commas and empty pieces are dropped, so
+ * `--ignore a,b` and `--ignore a --ignore b` produce the same
+ * ignore list.
+ */
+void addIgnoreSpecs(ReportDiffOptions &opts,
+                    const std::vector<std::string> &specs);
+
 } // namespace telemetry
 } // namespace gables
 

@@ -111,7 +111,7 @@ ArgParser::parse(int argc, const char *const *argv, std::ostream &err)
                     << " does not take a value\n";
                 return false;
             }
-            values_[name] = "1";
+            values_[name].push_back("1");
         } else {
             std::string value;
             if (inline_value) {
@@ -126,7 +126,7 @@ ArgParser::parse(int argc, const char *const *argv, std::ostream &err)
             }
             if (!checkValue(name, *spec, value, err))
                 return false;
-            values_[name] = value;
+            values_[name].push_back(value);
         }
     }
     if (has("help")) {
@@ -147,7 +147,15 @@ std::string
 ArgParser::getString(const std::string &name, const std::string &def) const
 {
     auto it = values_.find(name);
-    return it == values_.end() ? def : it->second;
+    return it == values_.end() ? def : it->second.back();
+}
+
+std::vector<std::string>
+ArgParser::getStrings(const std::string &name) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? std::vector<std::string>()
+                               : it->second;
 }
 
 double
@@ -156,7 +164,7 @@ ArgParser::getDouble(const std::string &name, double def) const
     auto it = values_.find(name);
     if (it == values_.end())
         return def;
-    return parseDoubleStrict(it->second, "option --" + name);
+    return parseDoubleStrict(it->second.back(), "option --" + name);
 }
 
 long
@@ -165,7 +173,7 @@ ArgParser::getInt(const std::string &name, long def) const
     auto it = values_.find(name);
     if (it == values_.end())
         return def;
-    return parseIntStrict(it->second, "option --" + name);
+    return parseIntStrict(it->second.back(), "option --" + name);
 }
 
 std::string

@@ -80,9 +80,19 @@ class ArgParser
     /** @return True if the flag or option @p name was supplied. */
     bool has(const std::string &name) const;
 
-    /** @return String value of option @p name, or @p def. */
+    /** @return String value of option @p name, or @p def. When the
+     * option was supplied more than once, the last occurrence wins
+     * (use getStrings() to see them all). */
     std::string getString(const std::string &name,
                           const std::string &def = "") const;
+
+    /**
+     * @return Every occurrence of option @p name in command-line
+     *         order; empty when absent. List-valued options (e.g.
+     *         `report diff --ignore`) accept both one
+     *         comma-separated occurrence and repeated flags.
+     */
+    std::vector<std::string> getStrings(const std::string &name) const;
 
     /**
      * @return Double value of option @p name, or @p def when absent.
@@ -118,7 +128,7 @@ class ArgParser
     std::string program_;
     std::string synopsis_;
     std::vector<std::pair<std::string, Spec>> specs_;
-    std::map<std::string, std::string> values_;
+    std::map<std::string, std::vector<std::string>> values_;
     std::vector<std::string> pos_;
     bool help_requested_ = false;
 

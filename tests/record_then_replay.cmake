@@ -1,0 +1,26 @@
+# ctest helper (cli_record_then_replay): record a real eval run with
+# --record, then replay the bundle and require a clean match. Driven
+# through `cmake -P` so the two-step sequence stays a single test.
+#
+# Inputs: -DGABLES=<gables binary> -DBUNDLE=<bundle path to write>
+#         -DCONFIG=<soc config file>
+
+execute_process(
+    COMMAND ${GABLES} --record ${BUNDLE} eval --file ${CONFIG}
+            --usecase 6b --metrics ${BUNDLE}.report.json
+    RESULT_VARIABLE record_rc)
+if(NOT record_rc EQUAL 0)
+    message(FATAL_ERROR "recording run failed with ${record_rc}")
+endif()
+
+execute_process(
+    COMMAND ${GABLES} replay ${BUNDLE}
+    OUTPUT_VARIABLE replay_out
+    RESULT_VARIABLE replay_rc)
+if(NOT replay_rc EQUAL 0)
+    message(FATAL_ERROR
+            "replay diverged with ${replay_rc}:\n${replay_out}")
+endif()
+if(NOT replay_out MATCHES ": match")
+    message(FATAL_ERROR "unexpected replay output:\n${replay_out}")
+endif()

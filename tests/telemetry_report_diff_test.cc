@@ -182,6 +182,41 @@ TEST(ReportDiff, TruncatesAtMaxDiffs)
     EXPECT_NE(text.find("truncated"), std::string::npos);
 }
 
+TEST(ReportDiff, AddIgnoreSpecsSplitsCommaLists)
+{
+    // `--ignore a,b --ignore c` and `--ignore a --ignore b --ignore c`
+    // must produce the same ignore list.
+    ReportDiffOptions comma;
+    addIgnoreSpecs(comma, {"profile,parallel.worker_busy_s", "meta"});
+    ReportDiffOptions repeated;
+    addIgnoreSpecs(repeated,
+                   {"profile", "parallel.worker_busy_s", "meta"});
+    EXPECT_EQ(comma.ignore, repeated.ignore);
+    ASSERT_EQ(comma.ignore.size(), 3u);
+    EXPECT_EQ(comma.ignore[1], "parallel.worker_busy_s");
+
+    // Empty fragments from stray commas are dropped, not matched.
+    ReportDiffOptions stray;
+    addIgnoreSpecs(stray, {",seconds,", ""});
+    EXPECT_EQ(stray.ignore, std::vector<std::string>{"seconds"});
+
+    // Specs append to (not replace) an existing list.
+    ReportDiffOptions appended;
+    appended.ignore = {"keep"};
+    addIgnoreSpecs(appended, {"seconds"});
+    ASSERT_EQ(appended.ignore.size(), 2u);
+    EXPECT_EQ(appended.ignore[0], "keep");
+
+    // And the split list actually drives the diff.
+    const std::string a =
+        R"({"meta": {"seconds": 1}, "x": {"seconds": 2, "keep": 3}})";
+    const std::string b =
+        R"({"meta": {"seconds": 9}, "x": {"seconds": 9, "keep": 3}})";
+    ReportDiffOptions both;
+    addIgnoreSpecs(both, {"meta.seconds,x.seconds"});
+    EXPECT_TRUE(diffText(a, b, both).identical());
+}
+
 TEST(ReportDiff, StringAndBoolLeavesCompareExactly)
 {
     EXPECT_FALSE(diffText(R"({"s": "a"})", R"({"s": "b"})")

@@ -196,5 +196,39 @@ TEST(ArgParser, IntParsing)
     EXPECT_EQ(p.getInt("n", 0), 17);
 }
 
+TEST(ArgParser, RepeatedOptionAccumulatesInOrder)
+{
+    ArgParser p("t", "test");
+    p.addOption("ignore", "field to skip (repeatable)");
+    std::ostringstream err;
+    ASSERT_TRUE(parseWords(
+        p, {"t", "--ignore", "profile", "--ignore=meta.seconds",
+            "--ignore", "x"},
+        err));
+    std::vector<std::string> want = {"profile", "meta.seconds", "x"};
+    EXPECT_EQ(p.getStrings("ignore"), want);
+    // Scalar accessors keep last-occurrence-wins semantics.
+    EXPECT_EQ(p.getString("ignore"), "x");
+}
+
+TEST(ArgParser, GetStringsEmptyWhenAbsent)
+{
+    ArgParser p("t", "test");
+    p.addOption("ignore", "field to skip (repeatable)");
+    std::ostringstream err;
+    ASSERT_TRUE(parseWords(p, {"t"}, err));
+    EXPECT_TRUE(p.getStrings("ignore").empty());
+}
+
+TEST(ArgParser, RepeatedNumericOptionUsesLastValue)
+{
+    ArgParser p("t", "test");
+    p.addOption("n", "count");
+    std::ostringstream err;
+    ASSERT_TRUE(parseWords(p, {"t", "--n", "4", "--n", "17"}, err));
+    EXPECT_EQ(p.getInt("n", 0), 17);
+    EXPECT_DOUBLE_EQ(p.getDouble("n", 0.0), 17.0);
+}
+
 } // namespace
 } // namespace gables
