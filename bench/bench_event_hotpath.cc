@@ -19,7 +19,7 @@
 
 #include <chrono>
 #include <cstdint>
-#include <fstream>
+#include <sstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -28,6 +28,7 @@
 #include "bench_util.h"
 #include "sim/soc.h"
 #include "soc/catalog.h"
+#include "util/atomic_file.h"
 #include "util/json_writer.h"
 #include "util/parse.h"
 
@@ -240,11 +241,7 @@ main(int argc, char **argv)
     printMeasurement("ert_shape", ert);
 
     if (!json_path.empty()) {
-        std::ofstream out(json_path);
-        if (!out) {
-            std::cerr << "cannot write " << json_path << "\n";
-            return 1;
-        }
+        std::ostringstream out;
         JsonWriter json(out);
         json.beginObject();
         json.key("schema");
@@ -260,6 +257,7 @@ main(int argc, char **argv)
         writeMeasurement(json, "ert_shape", ert);
         json.endObject();
         json.endObject();
+        writeFileAtomic(json_path, out.str());
         std::cout << "wrote " << json_path << "\n";
     }
     return 0;

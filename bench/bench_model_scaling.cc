@@ -31,7 +31,7 @@
 
 #include <chrono>
 #include <cstdint>
-#include <fstream>
+#include <sstream>
 #include <iostream>
 #include <string>
 #include <utility>
@@ -44,6 +44,7 @@
 #include "bench_util.h"
 #include "core/evaluator.h"
 #include "core/gables.h"
+#include "util/atomic_file.h"
 #include "util/json_writer.h"
 #include "util/parse.h"
 #include "util/rng.h"
@@ -383,11 +384,7 @@ runManual(const std::string &json_path, int reps)
               << formatDouble(speedup_grid, 1) << "x unpruned, "
               << formatDouble(speedup_pruned, 1) << "x pruned\n";
 
-    std::ofstream out(json_path);
-    if (!out) {
-        std::cerr << "cannot write " << json_path << "\n";
-        return 1;
-    }
+    std::ostringstream out;
     JsonWriter json(out);
     json.beginObject();
     json.key("schema");
@@ -410,6 +407,7 @@ runManual(const std::string &json_path, int reps)
     json.kv("explorer_grid_pruned_vs_reference", speedup_pruned);
     json.endObject();
     json.endObject();
+    writeFileAtomic(json_path, out.str());
     std::cout << "wrote " << json_path << "\n";
     return 0;
 }

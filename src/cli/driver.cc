@@ -12,6 +12,8 @@
 #include "cli/driver.h"
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -36,6 +38,8 @@
 #include "plot/viz_export.h"
 #include "replay/bundle.h"
 #include "replay/replayer.h"
+#include "serve/server.h"
+#include "serve/service.h"
 #include "soc/catalog.h"
 #include "soc/config.h"
 #include "soc/pipeline.h"
@@ -45,6 +49,7 @@
 #include "telemetry/span.h"
 #include "telemetry/stats.h"
 #include "util/arg_parser.h"
+#include "util/atomic_file.h"
 #include "util/json_reader.h"
 #include "util/logging.h"
 #include "util/parse.h"
@@ -137,10 +142,9 @@ void
 writeReport(telemetry::RunReport &report, const std::string &path)
 {
     report.setProfile(telemetry::SpanTracer::active());
-    std::ofstream out(path);
-    if (!out)
-        fatal("cannot open '" + path + "'");
+    std::ostringstream out;
     report.write(out);
+    writeFileAtomic(path, out.str());
     std::cout << "wrote " << path << '\n';
 }
 
@@ -1476,6 +1480,101 @@ cmdReplay(int argc, const char *const *argv)
     return worst;
 }
 
+// Set by the SIGINT/SIGTERM handler; polled by the serve loop so a
+// signalled daemon still flushes its stats snapshot before exiting.
+std::atomic<bool> g_serve_stop{false};
+
+extern "C" void
+serveSignalHandler(int)
+{
+    g_serve_stop.store(true);
+}
+
+int
+cmdServe(int argc, const char *const *argv)
+{
+    ArgParser args(
+        "gables serve",
+        "run the evaluation daemon: newline-delimited JSON requests "
+        "over a unix-domain socket or loopback TCP (docs/SERVE.md):\n"
+        "  gables serve --socket /tmp/gables.sock\n"
+        "  gables serve --port 0 --stats-out stats.json\n"
+        "with --port 0 the bound port is printed on stdout as\n"
+        "'gables serve: listening on 127.0.0.1:<port>'");
+    args.addOption("socket",
+                   "unix-domain socket path to listen on (the file "
+                   "is replaced and removed on exit)");
+    args.addIntOption("port",
+                      "loopback TCP port to listen on (0 = pick an "
+                      "ephemeral port); ignored when --socket is set",
+                      "-1");
+    addJobsOption(args);
+    args.addIntOption("cache",
+                      "compiled-evaluator LRU cache capacity "
+                      "(entries)",
+                      "64");
+    args.addOption("stats-out",
+                   "write the final telemetry RunReport to this path "
+                   "on shutdown (atomic temp+rename)");
+    args.addOption("record-requests",
+                   "tee every handled request/response pair to this "
+                   "JSONL file (the serve-side --record)");
+    if (!args.parse(argc, argv, std::cerr))
+        return usageExit(args);
+    if (!args.positional().empty()) {
+        std::cerr << "gables serve: unexpected positional argument '"
+                  << args.positional().front() << "'\n"
+                  << args.usage();
+        return kExitUsage;
+    }
+    std::string socket_path = args.getString("socket");
+    long port = args.getInt("port", -1);
+    if (socket_path.empty() && port < 0) {
+        std::cerr << "gables serve: need --socket PATH or --port N\n"
+                  << args.usage();
+        return kExitUsage;
+    }
+    if (socket_path.empty() && port > 65535)
+        fatal("--port must be in [0, 65535]");
+    long cache = args.getInt("cache", 64);
+    if (cache < 1 || cache > 1000000)
+        fatal("--cache must be in [1, 1000000]");
+
+    serve::ServeOptions service_opts;
+    service_opts.jobs = resolveJobs(args);
+    service_opts.cacheCapacity = static_cast<size_t>(cache);
+    service_opts.recordPath = args.getString("record-requests");
+    serve::ServeService service(service_opts);
+
+    serve::ServerOptions server_opts;
+    server_opts.socketPath = socket_path;
+    server_opts.port = socket_path.empty()
+                           ? static_cast<int>(port)
+                           : 0;
+    server_opts.statsOutPath = args.getString("stats-out");
+    server_opts.stopFlag = &g_serve_stop;
+    serve::ServeServer server(service, server_opts);
+    server.start();
+
+    // Writes after a peer disconnects must surface as EPIPE errors,
+    // not kill the daemon.
+    std::signal(SIGPIPE, SIG_IGN);
+    std::signal(SIGINT, serveSignalHandler);
+    std::signal(SIGTERM, serveSignalHandler);
+
+    if (socket_path.empty())
+        std::cout << "gables serve: listening on 127.0.0.1:"
+                  << server.port() << std::endl;
+    else
+        std::cout << "gables serve: listening on " << socket_path
+                  << std::endl;
+
+    size_t accepted = server.run();
+    std::cout << "gables serve: shut down after " << accepted
+              << " connection(s)\n";
+    return kExitOk;
+}
+
 } // namespace
 
 namespace gables {
@@ -1504,6 +1603,8 @@ usage(std::ostream &out)
            "  report      show or diff run-report JSON artifacts\n"
            "  replay      re-run a recorded bundle and diff its "
            "RunReport\n"
+           "  serve       evaluation daemon speaking JSON lines over\n"
+           "              a unix socket or loopback TCP\n"
            "  validate    lint a config file without running anything\n"
            "  glossary    the Gables parameter glossary (Table II)\n"
            "global options:\n"
@@ -1565,6 +1666,8 @@ runCommand(int argc, const char *const *argv)
             code = cmdReport(argc - 1, argv + 1);
         else if (cmd == "replay")
             code = cmdReplay(argc - 1, argv + 1);
+        else if (cmd == "serve")
+            code = cmdServe(argc - 1, argv + 1);
         else if (cmd == "validate")
             code = cmdValidate(argc - 1, argv + 1);
         else if (cmd == "glossary")
@@ -1589,8 +1692,8 @@ runCommand(int argc, const char *const *argv)
                                "ert", "balance", "advise",
                                "sensitivity", "robust", "pipeline",
                                "explore", "provision", "report",
-                               "replay", "validate", "glossary",
-                               "help"})
+                               "replay", "serve", "validate",
+                               "glossary", "help"})
                   << '\n';
         usage(std::cerr);
         return kExitUsage;

@@ -77,6 +77,23 @@ main(int argc, char **argv)
     if (profile)
         gables::telemetry::SpanTracer::setActive(&tracer);
 
+    // For the daemon, --record means "tee requests", not "capture a
+    // replay bundle": a server run has no single RunReport to bundle.
+    // Translate it into the serve-side flag and skip the recorder.
+    std::vector<std::string> serve_argv;
+    if (!record_path.empty() &&
+        std::string(fargv[1]) == "serve") {
+        serve_argv.assign(filtered.begin(), filtered.end());
+        serve_argv.push_back("--record-requests");
+        serve_argv.push_back(record_path);
+        record_path.clear();
+        filtered.clear();
+        for (const std::string &arg : serve_argv)
+            filtered.push_back(arg.c_str());
+        fargc = static_cast<int>(filtered.size());
+        fargv = filtered.data();
+    }
+
     // The recorder's capture hooks only copy data on the side, so a
     // run under --record is byte-identical to one without. Recording
     // a replay would nest the hooks confusingly, so it is refused.

@@ -1,8 +1,9 @@
 #include "replay/recorder.h"
 
-#include <fstream>
+#include <sstream>
 
 #include "telemetry/report.h"
+#include "util/atomic_file.h"
 #include "util/json_reader.h"
 #include "util/logging.h"
 
@@ -52,10 +53,11 @@ Recorder::bundle(int exit_code) const
 void
 Recorder::writeBundle(const std::string &path, int exit_code) const
 {
-    std::ofstream out(path);
-    if (!out)
-        fatal("cannot open replay bundle '" + path + "' for writing");
+    // Atomic write: an interrupted --record run must never leave a
+    // truncated bundle for the corpus or the daemon to trip over.
+    std::ostringstream out;
     gables::replay::writeBundle(out, bundle(exit_code));
+    writeFileAtomic(path, out.str());
     debug("recorded replay bundle " + path);
 }
 

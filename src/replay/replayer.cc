@@ -8,6 +8,7 @@
 #include "soc/config.h"
 #include "telemetry/report.h"
 #include "telemetry/report_diff.h"
+#include "util/atomic_file.h"
 #include "util/logging.h"
 #include "util/parse.h"
 
@@ -79,12 +80,14 @@ saveFreshReport(const std::string &bundle_path,
     std::string out_path =
         (std::filesystem::path(dir) / (stem + ".fresh.json"))
             .string();
-    std::ofstream out(out_path);
-    if (!out) {
-        warn("cannot write fresh report '" + out_path + "'");
-        return;
+    try {
+        writeFileAtomic(out_path, fresh);
+    } catch (const FatalError &err) {
+        // Fresh reports are CI artifacts, not the verdict; a failed
+        // save must not mask the replay result.
+        warn("cannot write fresh report '" + out_path +
+             "': " + err.what());
     }
-    out << fresh;
 }
 
 ReplayOutcome

@@ -1,0 +1,284 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/atomic_file.h"
+#include "util/logging.h"
+
+namespace gables {
+namespace serve {
+
+namespace {
+
+void
+closeFd(int &fd)
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+void
+setNonBlocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+} // namespace
+
+ServeServer::ServeServer(ServeService &service,
+                         const ServerOptions &options)
+    : service_(service), options_(options)
+{
+}
+
+ServeServer::~ServeServer()
+{
+    closeAll();
+    closeFd(listenFd_);
+    if (!options_.socketPath.empty())
+        std::remove(options_.socketPath.c_str());
+}
+
+void
+ServeServer::start()
+{
+    if (!options_.socketPath.empty()) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (options_.socketPath.size() >= sizeof(addr.sun_path))
+            fatal("socket path too long: " + options_.socketPath);
+        std::strncpy(addr.sun_path, options_.socketPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (listenFd_ < 0)
+            fatal(std::string("cannot create unix socket: ") +
+                  std::strerror(errno));
+        // A stale socket file from a previous run blocks bind().
+        std::remove(options_.socketPath.c_str());
+        if (::bind(listenFd_,
+                   reinterpret_cast<const sockaddr *>(&addr),
+                   sizeof(addr)) != 0)
+            fatal("cannot bind '" + options_.socketPath +
+                  "': " + std::strerror(errno));
+    } else {
+        listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (listenFd_ < 0)
+            fatal(std::string("cannot create TCP socket: ") +
+                  std::strerror(errno));
+        int one = 1;
+        ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        // Loopback only: the daemon speaks an unauthenticated
+        // protocol and must not be reachable from the network.
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port =
+            htons(static_cast<uint16_t>(options_.port));
+        if (::bind(listenFd_,
+                   reinterpret_cast<const sockaddr *>(&addr),
+                   sizeof(addr)) != 0)
+            fatal("cannot bind 127.0.0.1:" +
+                  std::to_string(options_.port) + ": " +
+                  std::strerror(errno));
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        if (::getsockname(listenFd_,
+                          reinterpret_cast<sockaddr *>(&bound),
+                          &len) == 0)
+            port_ = ntohs(bound.sin_port);
+    }
+    setNonBlocking(listenFd_);
+    if (::listen(listenFd_, 64) != 0)
+        fatal(std::string("cannot listen: ") + std::strerror(errno));
+}
+
+bool
+ServeServer::stopRequested() const
+{
+    return stop_.load() || service_.shutdownRequested() ||
+           (options_.stopFlag != nullptr && options_.stopFlag->load());
+}
+
+void
+ServeServer::acceptPending()
+{
+    for (;;) {
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            return;
+        setNonBlocking(fd);
+        ++accepted_;
+        Connection conn;
+        conn.fd = fd;
+        connections_.push_back(std::move(conn));
+    }
+}
+
+bool
+ServeServer::readAndDispatch(Connection &conn)
+{
+    char buf[65536];
+    ssize_t got = ::recv(conn.fd, buf, sizeof(buf), MSG_DONTWAIT);
+    if (got == 0)
+        return !conn.outbuf.empty(); // peer closed; flush then drop
+    if (got < 0)
+        return errno == EAGAIN || errno == EWOULDBLOCK ||
+               errno == EINTR;
+    conn.inbuf.append(buf, static_cast<size_t>(got));
+
+    // Frame complete lines; everything after the last newline stays
+    // buffered for the next read.
+    std::vector<std::string> lines;
+    size_t start = 0;
+    for (;;) {
+        size_t nl = conn.inbuf.find('\n', start);
+        if (nl == std::string::npos)
+            break;
+        size_t len = nl - start;
+        // Tolerate CRLF clients.
+        if (len > 0 && conn.inbuf[start + len - 1] == '\r')
+            --len;
+        if (len > 0)
+            lines.push_back(conn.inbuf.substr(start, len));
+        start = nl + 1;
+    }
+    conn.inbuf.erase(0, start);
+    if (conn.inbuf.size() > options_.maxLineBytes) {
+        warn("serve: dropping connection with oversized request "
+             "line (" +
+             std::to_string(conn.inbuf.size()) + " bytes)");
+        return false;
+    }
+    if (lines.empty())
+        return true;
+
+    std::vector<std::string> responses = service_.handleBatch(lines);
+    for (const std::string &response : responses) {
+        conn.outbuf += response;
+        conn.outbuf += '\n';
+    }
+    return flushWrites(conn);
+}
+
+bool
+ServeServer::flushWrites(Connection &conn)
+{
+    while (!conn.outbuf.empty()) {
+        ssize_t sent =
+            ::send(conn.fd, conn.outbuf.data(), conn.outbuf.size(),
+                   MSG_DONTWAIT | MSG_NOSIGNAL);
+        if (sent < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK ||
+                errno == EINTR)
+                return true; // poll for POLLOUT
+            return false;
+        }
+        conn.outbuf.erase(0, static_cast<size_t>(sent));
+    }
+    return true;
+}
+
+void
+ServeServer::closeAll()
+{
+    for (Connection &conn : connections_)
+        closeFd(conn.fd);
+    connections_.clear();
+}
+
+void
+ServeServer::writeStatsSnapshot()
+{
+    if (options_.statsOutPath.empty())
+        return;
+    try {
+        writeFileAtomic(options_.statsOutPath,
+                        service_.statsReportJson());
+    } catch (const FatalError &err) {
+        warn(std::string("serve: cannot write stats snapshot: ") +
+             err.what());
+    }
+}
+
+size_t
+ServeServer::run()
+{
+    GABLES_ASSERT(listenFd_ >= 0, "run() before start()");
+    while (!stopRequested()) {
+        std::vector<pollfd> fds;
+        fds.push_back(pollfd{listenFd_, POLLIN, 0});
+        for (const Connection &conn : connections_) {
+            short events = POLLIN;
+            if (!conn.outbuf.empty())
+                events |= POLLOUT;
+            fds.push_back(pollfd{conn.fd, events, 0});
+        }
+        // A finite timeout keeps stop flags responsive even when the
+        // daemon is idle.
+        int ready = ::poll(fds.data(),
+                           static_cast<nfds_t>(fds.size()), 100);
+        if (ready < 0 && errno != EINTR)
+            fatal(std::string("poll failed: ") +
+                  std::strerror(errno));
+        if (ready <= 0)
+            continue;
+        if (fds[0].revents & POLLIN)
+            acceptPending();
+        std::vector<Connection> alive;
+        alive.reserve(connections_.size());
+        size_t visited = 0;
+        for (size_t i = 0; i < connections_.size(); ++i) {
+            Connection &conn = connections_[i];
+            short revents = fds[i + 1].revents;
+            bool keep = true;
+            if (revents & (POLLERR | POLLNVAL))
+                keep = false;
+            if (keep && (revents & POLLOUT))
+                keep = flushWrites(conn);
+            if (keep && (revents & (POLLIN | POLLHUP)))
+                keep = readAndDispatch(conn);
+            // A peer that half-closed after its requests still gets
+            // its buffered responses; drop once drained.
+            if (keep && (revents & POLLHUP) && conn.outbuf.empty())
+                keep = false;
+            if (keep) {
+                alive.push_back(std::move(conn));
+            } else {
+                closeFd(conn.fd);
+            }
+            visited = i + 1;
+            if (service_.shutdownRequested())
+                break;
+        }
+        // Preserve connections not visited before a shutdown break.
+        for (size_t i = visited; i < connections_.size(); ++i)
+            alive.push_back(std::move(connections_[i]));
+        connections_ = std::move(alive);
+    }
+    // Flush responses already queued (e.g. the shutdown ack) with a
+    // short grace period, then snapshot telemetry.
+    for (Connection &conn : connections_)
+        flushWrites(conn);
+    closeAll();
+    writeStatsSnapshot();
+    return accepted_;
+}
+
+} // namespace serve
+} // namespace gables

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Socket transport for the `gables serve` daemon: a single-threaded
+ * poll(2) loop accepting connections on a unix-domain socket or a
+ * loopback TCP port, framing newline-delimited requests, and handing
+ * complete batches to the ServeService (which fans them onto its
+ * worker pool). Responses stream back in request order.
+ *
+ * The loop exits when the service has handled a "shutdown" request,
+ * when stop() is called, or when the configured stop flag (typically
+ * set by a SIGINT/SIGTERM handler) becomes true; on exit the final
+ * telemetry snapshot is written atomically to the configured stats
+ * path, so a killed daemon never leaves truncated JSON behind.
+ */
+
+#ifndef GABLES_SERVE_SERVER_H
+#define GABLES_SERVE_SERVER_H
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "serve/service.h"
+
+namespace gables {
+namespace serve {
+
+/** Transport configuration. */
+struct ServerOptions {
+    /** Unix-domain socket path ("" = use TCP). */
+    std::string socketPath;
+    /** Loopback TCP port (0 = ephemeral; resolved port() after
+     * start()). Ignored when socketPath is set. */
+    int port = 0;
+    /** Atomic RunReport snapshot written on exit ("" = off). */
+    std::string statsOutPath;
+    /** Upper bound on one request line; longer requests drop the
+     * connection (guards the daemon against unbounded buffering). */
+    size_t maxLineBytes = 1 << 20;
+    /** External stop flag polled by run() (e.g. set from a signal
+     * handler); nullptr = none. */
+    const std::atomic<bool> *stopFlag = nullptr;
+};
+
+/**
+ * The daemon's accept/read/dispatch/write loop.
+ */
+class ServeServer
+{
+  public:
+    /**
+     * @param service The request processor (not owned).
+     * @param options Transport configuration.
+     */
+    ServeServer(ServeService &service, const ServerOptions &options);
+
+    /** Closes the listener and any remaining connections. */
+    ~ServeServer();
+
+    ServeServer(const ServeServer &) = delete;
+    ServeServer &operator=(const ServeServer &) = delete;
+
+    /**
+     * Bind and listen.
+     * @throws FatalError when the socket cannot be created or bound.
+     */
+    void start();
+
+    /** @return The bound TCP port (after start(); 0 for unix). */
+    int port() const { return port_; }
+
+    /**
+     * Serve until shutdown is requested. Returns the number of
+     * connections accepted over the server's lifetime.
+     */
+    size_t run();
+
+    /** Ask a running run() loop to exit (safe from other threads). */
+    void stop() { stop_.store(true); }
+
+  private:
+    struct Connection {
+        int fd = -1;
+        std::string inbuf;
+        std::string outbuf;
+        bool closing = false;
+    };
+
+    bool stopRequested() const;
+    void acceptPending();
+    /** @return False when the connection must be dropped. */
+    bool readAndDispatch(Connection &conn);
+    /** @return False when the connection must be dropped. */
+    bool flushWrites(Connection &conn);
+    void closeAll();
+    void writeStatsSnapshot();
+
+    ServeService &service_;
+    const ServerOptions options_;
+
+    int listenFd_ = -1;
+    int port_ = 0;
+    std::vector<Connection> connections_;
+    std::atomic<bool> stop_{false};
+    size_t accepted_ = 0;
+};
+
+} // namespace serve
+} // namespace gables
+
+#endif // GABLES_SERVE_SERVER_H

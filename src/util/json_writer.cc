@@ -1,7 +1,10 @@
 #include "util/json_writer.h"
 
+#include <charconv>
+#include <clocale>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 
 #include "util/logging.h"
 
@@ -150,6 +153,51 @@ JsonWriter::value(const char *v)
     value(std::string(v));
 }
 
+namespace {
+
+/**
+ * Format a finite double exactly like printf("%.*g") in the C
+ * locale, but via std::to_chars so the output never picks up the
+ * host's LC_NUMERIC decimal point (under de_DE, snprintf would emit
+ * "1,5" — invalid JSON). Returns the formatted length.
+ */
+size_t
+formatGeneral(char *buf, size_t cap, double v, int precision)
+{
+#if defined(__cpp_lib_to_chars)
+    std::to_chars_result res = std::to_chars(
+        buf, buf + cap, v, std::chars_format::general, precision);
+    GABLES_ASSERT(res.ec == std::errc(), "to_chars buffer too small");
+    return static_cast<size_t>(res.ptr - buf);
+#else
+    // Fallback for toolchains without floating-point to_chars:
+    // snprintf, then force the C locale's '.' radix by hand.
+    std::snprintf(buf, cap, "%.*g", precision, v);
+    struct lconv *lc = std::localeconv();
+    if (lc != nullptr && lc->decimal_point != nullptr &&
+        lc->decimal_point[0] != '.') {
+        if (char *dot = std::strstr(buf, lc->decimal_point)) {
+            size_t sep = std::strlen(lc->decimal_point);
+            *dot = '.';
+            std::memmove(dot + 1, dot + sep,
+                         std::strlen(dot + sep) + 1);
+        }
+    }
+    return std::strlen(buf);
+#endif
+}
+
+/** Locale-independent re-parse for the round-trip check. */
+double
+parseBack(const char *buf, size_t len)
+{
+    double back = 0.0;
+    std::from_chars(buf, buf + len, back);
+    return back;
+}
+
+} // namespace
+
 void
 JsonWriter::value(double v)
 {
@@ -159,14 +207,20 @@ JsonWriter::value(double v)
         // as a gap.
         out_ << "null";
     } else {
-        char buf[32];
-        std::snprintf(buf, sizeof(buf), "%.17g", v);
-        // Prefer a shorter form when it round-trips.
-        char short_buf[32];
-        std::snprintf(short_buf, sizeof(short_buf), "%.12g", v);
-        double back = 0.0;
-        std::sscanf(short_buf, "%lf", &back);
-        out_ << (back == v ? short_buf : buf);
+        // Same two-tier scheme as the original snprintf("%.12g" /
+        // "%.17g") path — byte-identical output, so committed
+        // baselines and replay bundles are unchanged — but produced
+        // and verified without touching the C locale.
+        char short_buf[40];
+        size_t short_len = formatGeneral(short_buf, sizeof(short_buf),
+                                         v, 12);
+        if (parseBack(short_buf, short_len) == v) {
+            out_.write(short_buf, static_cast<std::streamsize>(short_len));
+        } else {
+            char buf[40];
+            size_t len = formatGeneral(buf, sizeof(buf), v, 17);
+            out_.write(buf, static_cast<std::streamsize>(len));
+        }
     }
     if (stack_.empty())
         doneRoot = true;

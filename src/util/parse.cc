@@ -1,9 +1,12 @@
 #include "util/parse.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cerrno>
+#include <charconv>
 #include <cmath>
 #include <cstdlib>
+#include <string_view>
 
 #include "util/strings.h"
 
@@ -51,6 +54,60 @@ badToken(const std::string &what, const std::string &text,
                      why);
 }
 
+/**
+ * Locale-independent decimal-double scan via std::from_chars, with
+ * the two strtod conveniences the callers relied on: an optional
+ * leading '+' and (for the strict parser) surrounding whitespace.
+ * Unlike strtod this never honors LC_NUMERIC — "1.5" parses as 1.5
+ * even under de_DE, and "1,5" is a comma, not a decimal point.
+ *
+ * @return One past the last consumed character, or @p begin when no
+ *         number could be parsed. Overflow/underflow reports through
+ *         @p out_of_range with the value left at +-inf / 0.
+ */
+const char *
+scanDouble(const char *begin, const char *end, double *value,
+           bool *out_of_range)
+{
+    *out_of_range = false;
+    const char *p = begin;
+    bool plus = p != end && *p == '+';
+    if (plus)
+        ++p;
+    double parsed = 0.0;
+    std::from_chars_result res =
+        std::from_chars(p, end, parsed, std::chars_format::general);
+    if (res.ec == std::errc::invalid_argument || res.ptr == p)
+        return begin;
+    if (res.ec == std::errc::result_out_of_range) {
+        // from_chars leaves the value unmodified on range errors;
+        // reconstruct strtod's +-HUGE_VAL / 0 so callers can tell
+        // overflow from underflow if they care.
+        bool neg = p != end && *p == '-';
+        // Heuristic: a tiny magnitude underflows, a huge one
+        // overflows. The exponent sign decides which.
+        bool under = std::string_view(p, res.ptr - p)
+                         .find("e-") != std::string_view::npos ||
+                     std::string_view(p, res.ptr - p)
+                         .find("E-") != std::string_view::npos;
+        parsed = under ? 0.0
+                       : (neg ? -HUGE_VAL : HUGE_VAL);
+        *out_of_range = !under;
+    }
+    *value = parsed;
+    return res.ptr;
+}
+
+/** @return True when the token spells a hex-float ("0x1p3"). */
+bool
+looksHex(const char *begin, const char *end)
+{
+    const char *p = begin;
+    if (p != end && (*p == '+' || *p == '-'))
+        ++p;
+    return end - p >= 2 && p[0] == '0' && (p[1] == 'x' || p[1] == 'X');
+}
+
 } // namespace
 
 double
@@ -60,16 +117,23 @@ parseDoubleStrict(const std::string &text, const std::string &what)
     if (token.empty())
         badToken(what, text, "empty input");
     const char *begin = token.c_str();
-    char *end = nullptr;
-    errno = 0;
-    double value = std::strtod(begin, &end);
-    if (end == begin)
+    const char *end = begin + token.size();
+    if (looksHex(begin, end))
+        badToken(what, text, "hex floats are not accepted");
+    double value = 0.0;
+    bool out_of_range = false;
+    const char *stop = scanDouble(begin, end, &value, &out_of_range);
+    if (stop == begin)
         badToken(what, text, "not a number");
-    if (*end != '\0')
+    if (stop != end)
         badToken(what, text,
-                 "trailing garbage '" + std::string(end) + "'");
-    if (errno == ERANGE && std::isinf(value))
+                 "trailing garbage '" + std::string(stop, end) + "'");
+    if (out_of_range)
         badToken(what, text, "magnitude out of range");
+    // from_chars accepts the textual "inf"/"nan" family; strict
+    // config input takes plain decimal numbers only.
+    if (std::isinf(value) || std::isnan(value))
+        badToken(what, text, "non-finite values are not accepted");
     return value;
 }
 
@@ -140,13 +204,22 @@ parseDoublePrefix(const std::string &text, double *value,
                   std::string *rest)
 {
     const char *begin = text.c_str();
-    char *end = nullptr;
-    errno = 0;
-    double parsed = std::strtod(begin, &end);
-    if (end == begin || (errno == ERANGE && std::isinf(parsed)))
+    const char *end = begin + text.size();
+    // strtod skipped leading whitespace; keep that for unit strings
+    // like " 24.4 GB/s".
+    while (begin != end &&
+           std::isspace(static_cast<unsigned char>(*begin)))
+        ++begin;
+    if (looksHex(begin, end))
+        return false;
+    double parsed = 0.0;
+    bool out_of_range = false;
+    const char *stop = scanDouble(begin, end, &parsed, &out_of_range);
+    if (stop == begin || out_of_range || std::isinf(parsed) ||
+        std::isnan(parsed))
         return false;
     *value = parsed;
-    *rest = std::string(end);
+    *rest = std::string(stop, end);
     return true;
 }
 

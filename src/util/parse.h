@@ -10,6 +10,12 @@
  * carrying a source location (file:line), and did-you-mean suggestion
  * helpers for unknown keys. The null-end-pointer strtod/strtol idiom
  * is banned outside src/util/parse.cc (CI greps for it).
+ *
+ * All floating-point scanning goes through std::from_chars, so the
+ * parsers are locale-independent: "1.5" means 1.5 even when the host
+ * process runs under LC_NUMERIC=de_DE, and "1,5" is always rejected.
+ * Strict parsing accepts plain decimal notation only — hex floats
+ * ("0x1p3") and the textual "inf"/"nan" family are errors.
  */
 
 #ifndef GABLES_UTIL_PARSE_H
@@ -69,12 +75,13 @@ class ConfigError : public FatalError
 
 /**
  * Parse a full-token floating-point number: the entire (trimmed) text
- * must be consumed and the value must be finite unless the text is an
- * explicit "inf"/"-inf".
+ * must be consumed and the value must be a finite decimal — hex
+ * floats and "inf"/"nan" tokens are rejected.
  *
  * @param text Input text, e.g. "0.75" or "3e9".
  * @param what Noun for error messages, e.g. "fraction".
- * @throws FatalError on empty input, trailing garbage, or overflow.
+ * @throws FatalError on empty input, trailing garbage, non-finite
+ *         or hex notation, or overflow.
  */
 double parseDoubleStrict(const std::string &text,
                          const std::string &what = "number");

@@ -21,7 +21,10 @@ TEST(ParseDoubleStrict, AcceptsFullTokens)
     EXPECT_DOUBLE_EQ(parseDoubleStrict("3e9"), 3e9);
     EXPECT_DOUBLE_EQ(parseDoubleStrict("-1.5"), -1.5);
     EXPECT_DOUBLE_EQ(parseDoubleStrict("  42  "), 42.0);
-    EXPECT_TRUE(std::isinf(parseDoubleStrict("inf")));
+    EXPECT_DOUBLE_EQ(parseDoubleStrict("+2.5"), 2.5);
+    // Underflow is not an error: a tiny magnitude rounds to zero,
+    // matching the old strtod behavior.
+    EXPECT_DOUBLE_EQ(parseDoubleStrict("1e-999"), 0.0);
 }
 
 TEST(ParseDoubleStrict, RejectsGarbage)
@@ -32,6 +35,21 @@ TEST(ParseDoubleStrict, RejectsGarbage)
     EXPECT_THROW(parseDoubleStrict("1.5x"), FatalError);
     EXPECT_THROW(parseDoubleStrict("1.5 2.5"), FatalError);
     EXPECT_THROW(parseDoubleStrict("1e999"), FatalError);
+    // Locale-style decimal commas are trailing garbage, never a
+    // decimal point.
+    EXPECT_THROW(parseDoubleStrict("1,5"), FatalError);
+}
+
+TEST(ParseDoubleStrict, RejectsHexAndNonFinite)
+{
+    // Strict config input takes plain decimal notation only.
+    EXPECT_THROW(parseDoubleStrict("0x1p3"), FatalError);
+    EXPECT_THROW(parseDoubleStrict("-0X2"), FatalError);
+    EXPECT_THROW(parseDoubleStrict("inf"), FatalError);
+    EXPECT_THROW(parseDoubleStrict("-inf"), FatalError);
+    EXPECT_THROW(parseDoubleStrict("infinity"), FatalError);
+    EXPECT_THROW(parseDoubleStrict("nan"), FatalError);
+    EXPECT_THROW(parseDoubleStrict("NaN"), FatalError);
 }
 
 TEST(ParseDoubleStrict, ErrorNamesTheWhat)
@@ -102,8 +120,15 @@ TEST(ParseDoublePrefix, SplitsNumberAndRest)
     ASSERT_TRUE(parseDoublePrefix("42", &value, &rest));
     EXPECT_DOUBLE_EQ(value, 42.0);
     EXPECT_TRUE(rest.empty());
+    ASSERT_TRUE(parseDoublePrefix(" 24.4 GB/s", &value, &rest));
+    EXPECT_DOUBLE_EQ(value, 24.4);
+    EXPECT_EQ(rest, " GB/s");
     EXPECT_FALSE(parseDoublePrefix("fast", &value, &rest));
     EXPECT_FALSE(parseDoublePrefix("", &value, &rest));
+    // Hex and non-finite leading tokens are not numbers here either.
+    EXPECT_FALSE(parseDoublePrefix("0x1p3", &value, &rest));
+    EXPECT_FALSE(parseDoublePrefix("infGB/s", &value, &rest));
+    EXPECT_FALSE(parseDoublePrefix("nan", &value, &rest));
 }
 
 TEST(SourceLoc, Formats)
