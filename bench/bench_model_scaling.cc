@@ -17,6 +17,10 @@
  *  - explorer_grid / explorer_grid_pruned: the 64x64 explorer cross
  *    product through exploreFrontier(), without and with subgrid
  *    bound pruning.
+ *  - sweep_mixing_4096_scalar / explorer_grid_scalar: the same grid
+ *    workloads forced onto the scalar reference path
+ *    (simd::ScopedEnable), so the "*_simd_vs_scalar" speedups are a
+ *    same-run, machine-independent measure of the packed lanes.
  *  - explorer_grid_reference: the same grid evaluated the pre-
  *    evaluator way (SocSpec rebuild + GablesModel::evaluate per
  *    design) — the denominator of the reported speedups, measured in
@@ -228,9 +232,15 @@ measureEvaluate8Ip(int reps)
     return best.result();
 }
 
-/** A full serial Sweep::mixing grid (paper Figure 8 shape). */
-Measurement
-measureSweepMixing(int reps)
+/**
+ * A full serial Sweep::mixing grid (paper Figure 8 shape), measured
+ * on the packed and scalar paths in alternating reps. Interleaving
+ * matters: the packed-vs-scalar ratio gates CI, and pairing the reps
+ * inside one window keeps scheduler/frequency drift from landing on
+ * only one side of the ratio.
+ */
+void
+measureSweepMixing(int reps, Measurement &packed, Measurement &scalar)
 {
     auto [soc, u] = synthetic(4, 31);
     const size_t kPoints = 4096;
@@ -238,15 +248,23 @@ measureSweepMixing(int reps)
     fractions.reserve(kPoints);
     for (size_t i = 0; i < kPoints; ++i)
         fractions.push_back(static_cast<double>(i) / (kPoints - 1));
-    BestOf best;
-    for (int r = 0; r < reps; ++r) {
+    auto one = [&](BestOf &best) {
         Clock::time_point t0 = Clock::now();
         Series s = Sweep::mixing(soc, 8.0, 0.1, fractions, true, 1);
         double seconds = secondsSince(t0);
         benchmark::DoNotOptimize(s.y.back());
         best.sample(seconds, kPoints);
+    };
+    BestOf best_packed, best_scalar;
+    for (int r = 0; r < reps; ++r) {
+        one(best_packed);
+        {
+            simd::ScopedEnable off(false);
+            one(best_scalar);
+        }
     }
-    return best.result();
+    packed = best_packed.result();
+    scalar = best_scalar.result();
 }
 
 /** The 64x64 explorer grid shared by the explorer workloads. */
@@ -272,9 +290,12 @@ makeGridExplorer(std::vector<double> &bpeaks,
 
 /** The explorer cross product through the compiled-evaluator engine,
  * with or without subgrid bound pruning. The rate is grid designs
- * per second of wall time, so pruning shows up as a higher rate. */
+ * per second of wall time, so pruning shows up as a higher rate.
+ * When @p scalar is given, packed and scalar reps alternate inside
+ * the same window (see measureSweepMixing). */
 Measurement
-measureExplorerGrid(bool prune, int reps)
+measureExplorerGrid(bool prune, int reps,
+                    Measurement *scalar = nullptr)
 {
     std::vector<double> bpeaks, accels;
     DesignExplorer ex = makeGridExplorer(bpeaks, accels);
@@ -283,15 +304,24 @@ measureExplorerGrid(bool prune, int reps)
     opts.prune = prune;
     const uint64_t designs =
         static_cast<uint64_t>(bpeaks.size() * accels.size());
-    BestOf best;
-    for (int r = 0; r < reps; ++r) {
+    auto one = [&](BestOf &best) {
         Clock::time_point t0 = Clock::now();
         auto frontier = ex.exploreFrontier(opts);
         double seconds = secondsSince(t0);
         benchmark::DoNotOptimize(frontier.size());
         best.sample(seconds, designs);
+    };
+    BestOf best_packed, best_scalar;
+    for (int r = 0; r < reps; ++r) {
+        one(best_packed);
+        if (scalar) {
+            simd::ScopedEnable off(false);
+            one(best_scalar);
+        }
     }
-    return best.result();
+    if (scalar)
+        *scalar = best_scalar.result();
+    return best_packed.result();
 }
 
 /**
@@ -362,10 +392,17 @@ runManual(const std::string &json_path, int reps)
     // first-touch costs.
     measureEvaluate8Ip(1);
 
+    // The grid workloads run the packed path and the scalar
+    // reference path in alternating reps of the same window: the
+    // packed-vs-scalar ratio cancels machine speed the same way
+    // explorer_grid_reference does for the evaluator, and the
+    // interleave keeps drift off the ratio.
     Measurement eval8 = measureEvaluate8Ip(reps);
-    Measurement mixing = measureSweepMixing(std::max(1, reps / 4));
-    Measurement grid = measureExplorerGrid(false,
-                                           std::max(1, reps / 4));
+    Measurement mixing, mixing_scalar;
+    measureSweepMixing(std::max(1, reps / 4), mixing, mixing_scalar);
+    Measurement grid_scalar;
+    Measurement grid = measureExplorerGrid(
+        false, std::max(1, reps / 4), &grid_scalar);
     Measurement pruned = measureExplorerGrid(true,
                                              std::max(1, reps / 4));
     Measurement reference =
@@ -373,16 +410,29 @@ runManual(const std::string &json_path, int reps)
 
     printMeasurement("evaluate_8ip", eval8);
     printMeasurement("sweep_mixing_4096", mixing);
+    printMeasurement("sweep_mixing_4096_scalar", mixing_scalar);
     printMeasurement("explorer_grid", grid);
+    printMeasurement("explorer_grid_scalar", grid_scalar);
     printMeasurement("explorer_grid_pruned", pruned);
     printMeasurement("explorer_grid_reference", reference);
 
     double speedup_grid = grid.itemsPerSec / reference.itemsPerSec;
     double speedup_pruned =
         pruned.itemsPerSec / reference.itemsPerSec;
+    double speedup_mixing_simd =
+        mixing.itemsPerSec / mixing_scalar.itemsPerSec;
+    double speedup_grid_simd =
+        grid.itemsPerSec / grid_scalar.itemsPerSec;
     std::cout << "  speedup vs reference: "
               << formatDouble(speedup_grid, 1) << "x unpruned, "
               << formatDouble(speedup_pruned, 1) << "x pruned\n";
+    std::cout << "  packed vs scalar lanes: "
+              << formatDouble(speedup_mixing_simd, 1)
+              << "x mixing sweep, "
+              << formatDouble(speedup_grid_simd, 1)
+              << "x explorer grid (lane width "
+              << (simd::enabled() ? GablesEvalPack::kWidth : 1)
+              << ")\n";
 
     std::ostringstream out;
     JsonWriter json(out);
@@ -393,11 +443,25 @@ runManual(const std::string &json_path, int reps)
     json.kv("version", 1);
     json.endObject();
     json.kv("reps", reps);
+    json.key("config");
+    json.beginObject();
+    json.kv("lane_width",
+            simd::enabled()
+                ? static_cast<size_t>(GablesEvalPack::kWidth)
+                : static_cast<size_t>(1));
+    json.kv("simd_compiled",
+            static_cast<size_t>(simd::kCompiledIn ? 1 : 0));
+    json.kv("simd_enabled",
+            static_cast<size_t>(simd::enabled() ? 1 : 0));
+    json.endObject();
     json.key("workloads");
     json.beginObject();
     writeMeasurement(json, "evaluate_8ip", eval8);
     writeMeasurement(json, "sweep_mixing_4096", mixing);
+    writeMeasurement(json, "sweep_mixing_4096_scalar",
+                     mixing_scalar);
     writeMeasurement(json, "explorer_grid", grid);
+    writeMeasurement(json, "explorer_grid_scalar", grid_scalar);
     writeMeasurement(json, "explorer_grid_pruned", pruned);
     writeMeasurement(json, "explorer_grid_reference", reference);
     json.endObject();
@@ -405,6 +469,9 @@ runManual(const std::string &json_path, int reps)
     json.beginObject();
     json.kv("explorer_grid_vs_reference", speedup_grid);
     json.kv("explorer_grid_pruned_vs_reference", speedup_pruned);
+    json.kv("sweep_mixing_4096_simd_vs_scalar",
+            speedup_mixing_simd);
+    json.kv("explorer_grid_simd_vs_scalar", speedup_grid_simd);
     json.endObject();
     json.endObject();
     writeFileAtomic(json_path, out.str());

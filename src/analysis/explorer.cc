@@ -151,6 +151,23 @@ DesignExplorer::applyKnobHardware(WorkerState &ws, const Knob &knob,
 }
 
 void
+DesignExplorer::applyKnobLane(GablesEvalPack &pack, size_t lane,
+                              const Knob &knob, double v)
+{
+    switch (knob.kind) {
+    case Knob::Kind::Bpeak:
+        pack.setBpeak(lane, v);
+        break;
+    case Knob::Kind::Acceleration:
+        pack.setAcceleration(lane, knob.ip, v);
+        break;
+    case Knob::Kind::IpBandwidth:
+        pack.setIpBandwidth(lane, knob.ip, v);
+        break;
+    }
+}
+
+void
 DesignExplorer::applyKnob(WorkerState &ws, const Knob &knob,
                           double v) const
 {
@@ -294,6 +311,26 @@ DesignExplorer::exploreFrontier(const ExploreOptions &options,
         states.push_back(makeWorkerState());
     WorkerState probe = prune ? makeWorkerState() : WorkerState{};
 
+    // Packed grid path: each worker carries one pack per usecase and
+    // evaluates kWidth designs per pass. Each lane reproduces the
+    // scalar per-design mutation sequence bit-for-bit, and the
+    // min-across-usecases reduction visits usecases in the same
+    // order, so frontiers and eval counters are identical.
+    const bool packed = simd::enabled();
+    if (packed) {
+        for (WorkerState &ws : states) {
+            ws.packs.reserve(ws.evaluators.size());
+            for (const GablesEvaluator &ev : ws.evaluators)
+                ws.packs.emplace_back(ev);
+            // "No digit applied yet" sentinels, as in
+            // makeWorkerState(): the first pack stages every knob on
+            // every lane.
+            ws.laneDigits.assign(GablesEvalPack::kWidth * n_knobs,
+                                 std::numeric_limits<size_t>::max());
+            ws.curDigits.assign(n_knobs, 0);
+        }
+    }
+
     // Flat-index stride of each knob (knob 0 varies fastest).
     std::vector<size_t> stride(n_knobs, 1);
     for (size_t k = 1; k < n_knobs; ++k)
@@ -426,17 +463,92 @@ DesignExplorer::exploreFrontier(const ExploreOptions &options,
 
         GABLES_SPAN("explore.grid");
         chunk_points.resize(hi - lo);
-        pool.forEach(hi - lo, [&](size_t i, int worker) {
-            WorkerState &ws = states[static_cast<size_t>(worker)];
-            Point &p = chunk_points[i];
-            p.flat = lo + i;
-            applyDigits(ws, p.flat);
-            p.cost = cost_.cost(ws.bpeak, ws.ips);
-            double min_perf = kInf;
-            for (GablesEvaluator &ev : ws.evaluators)
-                min_perf = std::min(min_perf, ev.attainable());
-            p.minPerf = min_perf;
-        });
+        if (packed) {
+            // One loop index = one pack of consecutive flat indices.
+            constexpr size_t W = GablesEvalPack::kWidth;
+            const size_t npacks = (hi - lo + W - 1) / W;
+            pool.forEach(npacks, [&](size_t pi, int worker) {
+                WorkerState &ws =
+                    states[static_cast<size_t>(worker)];
+                const size_t p0 = lo + pi * W;
+                const size_t cnt = std::min(W, hi - p0);
+                // Decompose the pack's first flat index once; the
+                // remaining lanes advance the digit odometer by one
+                // step each instead of re-dividing per lane.
+                size_t rest = p0;
+                for (size_t k = 0; k < n_knobs; ++k) {
+                    ws.curDigits[k] = rest % knobs_[k].values.size();
+                    rest /= knobs_[k].values.size();
+                }
+                for (size_t w = 0; w < cnt; ++w) {
+                    if (w != 0) {
+                        for (size_t k = 0; k < n_knobs; ++k) {
+                            if (++ws.curDigits[k] <
+                                knobs_[k].values.size())
+                                break;
+                            ws.curDigits[k] = 0;
+                        }
+                    }
+                    // Stage each knob in registration order, skipping
+                    // digits the lane already carries — the same
+                    // unchanged-digit skip the scalar applyDigits()
+                    // performs, and gated off by the same
+                    // `incremental` flag when knobs share a model
+                    // term (later knobs must then win by
+                    // re-application, identically to the scalar
+                    // non-incremental path).
+                    size_t *lane_digits =
+                        ws.laneDigits.data() + w * n_knobs;
+                    for (size_t k = 0; k < n_knobs; ++k) {
+                        const Knob &knob = knobs_[k];
+                        const size_t digit = ws.curDigits[k];
+                        if (!ws.incremental ||
+                            lane_digits[k] != digit) {
+                            const double v = knob.values[digit];
+                            for (GablesEvalPack &pack : ws.packs)
+                                applyKnobLane(pack, w, knob, v);
+                            lane_digits[k] = digit;
+                        }
+                    }
+                }
+                for (GablesEvalPack &pack : ws.packs)
+                    pack.run(cnt);
+                // Linear cost from the pack's own parameter rows:
+                // the per-lane sums reduce in IP index order, so
+                // cost bits match CostModel::cost() on the scratch
+                // hardware arrays the scalar path maintains.
+                double sum_a[W];
+                double sum_b[W];
+                ws.packs.front().paramSums(sum_a, sum_b);
+                const GablesEvalPack &hw = ws.packs.front();
+                for (size_t w = 0; w < cnt; ++w) {
+                    double min_perf = kInf;
+                    for (GablesEvalPack &pack : ws.packs)
+                        min_perf =
+                            std::min(min_perf, pack.attainable(w));
+                    Point &p = chunk_points[p0 - lo + w];
+                    p.flat = p0 + w;
+                    p.minPerf = min_perf;
+                    p.cost =
+                        cost_.costPerAcceleration * sum_a[w] +
+                        cost_.costPerBpeak * hw.bpeak(w) +
+                        cost_.costPerIpBandwidth * sum_b[w];
+                }
+            });
+        } else {
+            pool.forEach(hi - lo, [&](size_t i, int worker) {
+                WorkerState &ws =
+                    states[static_cast<size_t>(worker)];
+                Point &p = chunk_points[i];
+                p.flat = lo + i;
+                applyDigits(ws, p.flat);
+                p.cost = cost_.cost(ws.bpeak, ws.ips);
+                double min_perf = kInf;
+                for (GablesEvaluator &ev : ws.evaluators)
+                    min_perf = std::min(min_perf, ev.attainable());
+                p.minPerf = min_perf;
+            });
+        }
         const std::vector<double> &busy = pool.busySeconds();
         for (size_t w = 0;
              w < busy.size() && w < st.forStats.busySeconds.size(); ++w)
@@ -469,9 +581,12 @@ DesignExplorer::exploreFrontier(const ExploreOptions &options,
                          return a.cost < b.cost;
                      });
 
-    for (const WorkerState &ws : states)
+    for (const WorkerState &ws : states) {
         for (const GablesEvaluator &ev : ws.evaluators)
             st.evals += ev.evalCount();
+        for (const GablesEvalPack &pack : ws.packs)
+            st.evals += pack.evalCount();
+    }
     for (const GablesEvaluator &ev : probe.evaluators)
         st.evals += ev.evalCount();
     if (stats)

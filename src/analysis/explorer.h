@@ -180,6 +180,20 @@ class DesignExplorer
      */
     struct WorkerState {
         std::vector<GablesEvaluator> evaluators;
+        /** Packed mirrors of `evaluators` (one pack per usecase),
+         * populated only when exploreFrontier() runs the packed grid
+         * path; each pack lane holds one design of a pack. */
+        std::vector<GablesEvalPack> packs;
+        /** Last digits applied to each pack lane, [lane][knob] flat —
+         * the packed grid's analogue of `digits`, letting a lane skip
+         * knobs whose digit it already carries (consecutive packs
+         * move a lane by kWidth flat indices, which typically changes
+         * only the low knob digits). Packed path only. */
+        std::vector<size_t> laneDigits;
+        /** Packed-path scratch: the digits of the lane currently
+         * being staged (decomposed once per pack, then advanced
+         * odometer-style per lane). */
+        std::vector<size_t> curDigits;
         double bpeak = 0.0;
         std::vector<IpSpec> ips;
         std::vector<size_t> digits;
@@ -198,6 +212,9 @@ class DesignExplorer
      * (bound probes that never evaluate the model). */
     static void applyKnobHardware(WorkerState &ws, const Knob &knob,
                                   double v);
+    /** Apply knob value @p v to lane @p lane of one pack. */
+    static void applyKnobLane(GablesEvalPack &pack, size_t lane,
+                              const Knob &knob, double v);
     /** Decompose @p flat into per-knob digits and apply the ones
      * that differ from the worker's last applied digits. */
     void applyDigits(WorkerState &ws, size_t flat) const;

@@ -41,7 +41,11 @@ Robustness::analyze(const SocSpec &soc, const Usecase &usecase,
     std::vector<double> intensities(n, 1.0);
     GablesResult scratch;
 
-    for (int s = 0; s < options.samples; ++s) {
+    // One perturbed sample's work terms, drawn in sample-major,
+    // IP-minor order — the packed path batches samples but consumes
+    // the RNG stream in exactly this order, so both paths see
+    // identical draws.
+    auto drawSample = [&]() {
         double sum = 0.0;
         for (size_t i = 0; i < n; ++i) {
             const IpWork &w = usecase.at(i);
@@ -67,14 +71,44 @@ Robustness::analyze(const SocSpec &soc, const Usecase &usecase,
             sum += fractions[i];
         }
         GABLES_ASSERT(sum > 0.0, "perturbation removed all work");
-        for (size_t i = 0; i < n; ++i)
-            ev.setWork(i, fractions[i] / sum, intensities[i]);
-
-        ev.evaluate(scratch);
-        perf.push_back(scratch.attainable);
-        bottleneck_counts[scratch.bottleneckIp]++;
-        if (options.target > 0.0 && scratch.attainable >= options.target)
+        return sum;
+    };
+    auto recordSample = [&](double attainable, int bottleneck_ip) {
+        perf.push_back(attainable);
+        bottleneck_counts[bottleneck_ip]++;
+        if (options.target > 0.0 && attainable >= options.target)
             ++meets;
+    };
+
+    if (simd::enabled()) {
+        // Packed Monte-Carlo: kWidth samples per pass. Every lane's
+        // work terms are fully overwritten per sample (all n IPs),
+        // so lanes never leak state between passes.
+        constexpr size_t W = GablesEvalPack::kWidth;
+        GablesEvalPack pack(ev);
+        const size_t samples = static_cast<size_t>(options.samples);
+        for (size_t s0 = 0; s0 < samples; s0 += W) {
+            const size_t cnt = std::min(W, samples - s0);
+            for (size_t w = 0; w < cnt; ++w) {
+                double sum = drawSample();
+                for (size_t i = 0; i < n; ++i)
+                    pack.setWork(w, i, fractions[i] / sum,
+                                 intensities[i]);
+            }
+            pack.run(cnt);
+            for (size_t w = 0; w < cnt; ++w)
+                recordSample(pack.attainable(w),
+                             pack.bottleneckIp(w));
+        }
+    } else {
+        for (int s = 0; s < options.samples; ++s) {
+            double sum = drawSample();
+            for (size_t i = 0; i < n; ++i)
+                ev.setWork(i, fractions[i] / sum, intensities[i]);
+
+            ev.evaluate(scratch);
+            recordSample(scratch.attainable, scratch.bottleneckIp);
+        }
     }
 
     std::sort(perf.begin(), perf.end());

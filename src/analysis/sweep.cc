@@ -1,5 +1,7 @@
 #include "analysis/sweep.h"
 
+#include <algorithm>
+
 #include "telemetry/span.h"
 #include "util/logging.h"
 #include "util/strings.h"
@@ -33,7 +35,10 @@ Sweep::fillWith(std::string label, const SocSpec &soc,
                 const Usecase &seed, const std::vector<double> &xs,
                 const std::function<double(GablesEvaluator &, double)>
                     &point,
-                int jobs, parallel::ForStats *stats)
+                const std::function<void(GablesEvalPack &,
+                                         const double *, size_t)>
+                    &packStage,
+                double divisor, int jobs, parallel::ForStats *stats)
 {
     Series series;
     series.label = std::move(label);
@@ -44,6 +49,43 @@ Sweep::fillWith(std::string label, const SocSpec &soc,
 
     parallel::ForOptions opts;
     opts.jobs = jobs;
+
+    if (packStage && simd::enabled() && !xs.empty()) {
+        // Packed grid: each loop index is one pack of kWidth points.
+        // Lanes land in the same pre-sized slots as the scalar path,
+        // and each lane's value is bit-identical, so the output is
+        // byte-for-byte the same for any job count.
+        constexpr size_t W = GablesEvalPack::kWidth;
+        const size_t packs = (xs.size() + W - 1) / W;
+        int workers = parallel::plannedWorkers(packs, opts);
+        std::vector<GablesEvalPack> lanes;
+        lanes.reserve(static_cast<size_t>(workers));
+        {
+            GABLES_SPAN("sweep.compile");
+            GablesEvaluator base(soc, seed);
+            for (int w = 0; w < workers; ++w)
+                lanes.emplace_back(base);
+        }
+
+        GABLES_SPAN("sweep.grid");
+        parallel::ForStats st = parallel::parallelFor(
+            packs,
+            [&](size_t pi, int worker) {
+                GablesEvalPack &pack =
+                    lanes[static_cast<size_t>(worker)];
+                const size_t p0 = pi * W;
+                const size_t cnt = std::min(W, xs.size() - p0);
+                packStage(pack, series.x.data() + p0, cnt);
+                pack.run(cnt);
+                for (size_t w = 0; w < cnt; ++w)
+                    series.y[p0 + w] = pack.attainable(w) / divisor;
+            },
+            opts);
+        if (stats)
+            *stats = st;
+        return series;
+    }
+
     // One compiled evaluator per pool worker: mutators are stateful,
     // and worker indices are stable for the duration of one loop.
     // An empty grid never calls the body, so compile nothing.
@@ -108,7 +150,14 @@ Sweep::mixing(const SocSpec &soc, double i0, double i1,
             ev.setFraction(1, f);
             return ev.attainable() / base;
         },
-        jobs, stats);
+        [](GablesEvalPack &pack, const double *fs, size_t cnt) {
+            double f0[GablesEvalPack::kWidth];
+            for (size_t w = 0; w < cnt; ++w)
+                f0[w] = 1.0 - fs[w];
+            pack.setFractionRow(0, f0, cnt);
+            pack.setFractionRow(1, fs, cnt);
+        },
+        base, jobs, stats);
 }
 
 Series
@@ -122,7 +171,10 @@ Sweep::bpeak(const SocSpec &soc, const Usecase &usecase,
             ev.setBpeak(b);
             return ev.attainable();
         },
-        jobs, stats);
+        [](GablesEvalPack &pack, const double *bs, size_t cnt) {
+            pack.setBpeakLanes(bs, cnt);
+        },
+        1.0, jobs, stats);
 }
 
 Series
@@ -136,7 +188,10 @@ Sweep::intensity(const SocSpec &soc, const Usecase &usecase, size_t ip,
             ev.setIntensity(ip, i);
             return ev.attainable();
         },
-        jobs, stats);
+        [ip](GablesEvalPack &pack, const double *is, size_t cnt) {
+            pack.setIntensityRow(ip, is, cnt);
+        },
+        1.0, jobs, stats);
 }
 
 Series
@@ -152,7 +207,10 @@ Sweep::acceleration(const SocSpec &soc, const Usecase &usecase, size_t ip,
             ev.setAcceleration(ip, a);
             return ev.attainable();
         },
-        jobs, stats);
+        [ip](GablesEvalPack &pack, const double *as, size_t cnt) {
+            pack.setAccelerationRow(ip, as, cnt);
+        },
+        1.0, jobs, stats);
 }
 
 Series
@@ -166,7 +224,10 @@ Sweep::ipBandwidth(const SocSpec &soc, const Usecase &usecase, size_t ip,
             ev.setIpBandwidth(ip, b);
             return ev.attainable();
         },
-        jobs, stats);
+        [ip](GablesEvalPack &pack, const double *bs, size_t cnt) {
+            pack.setIpBandwidthRow(ip, bs, cnt);
+        },
+        1.0, jobs, stats);
 }
 
 Series

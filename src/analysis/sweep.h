@@ -45,6 +45,12 @@ struct Series {
  * point updates a single parameter, instead of rebuilding a spec
  * copy and re-deriving every term per point. Results are
  * bit-identical to the per-point GablesModel::evaluate() path.
+ *
+ * When the packed path is live (simd::enabled()), the same drivers
+ * batch kPackWidth grid points into a per-worker GablesEvalPack and
+ * evaluate a pack per pass; lanes are written back into the same
+ * pre-sized slots, so output stays byte-identical to the scalar path
+ * for any job count (the pack itself is bit-exact per lane).
  */
 class Sweep
 {
@@ -128,12 +134,23 @@ class Sweep
      * pool worker and runs y[i] = point(evaluator, xs[i]) with the
      * worker's evaluator, so each point mutates one parameter
      * instead of rebuilding the pair.
+     *
+     * When @p packStage is provided and the packed path is enabled,
+     * the grid runs GablesEvalPack::kWidth points per pass instead:
+     * packStage(pack, xs, cnt) bulk-stages one parameter batch (one
+     * indirect call and one row store per pack, not per point), the
+     * pack evaluates all lanes, and y[i] = attainable(lane) /
+     * divisor. @p divisor is 1.0 for raw sweeps (x / 1.0 is exact)
+     * and the normalization base for mixing, so packed output
+     * matches the scalar `point` lambda bit-for-bit.
      */
     static Series
     fillWith(std::string label, const SocSpec &soc, const Usecase &seed,
              const std::vector<double> &xs,
              const std::function<double(GablesEvaluator &, double)> &point,
-             int jobs, parallel::ForStats *stats);
+             const std::function<void(GablesEvalPack &, const double *,
+                                      size_t)> &packStage,
+             double divisor, int jobs, parallel::ForStats *stats);
 };
 
 } // namespace gables

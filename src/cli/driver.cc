@@ -1423,6 +1423,13 @@ cmdReplay(int argc, const char *const *argv)
     args.addOption("save-fresh",
                    "write each fresh RunReport into this directory "
                    "as <bundle>.fresh.json (for offline diffing)");
+    args.addOption("out-dir",
+                   "directory for artifacts the replayed command "
+                   "writes to relative paths (recorded --metrics "
+                   "files and the like); pass an empty value to "
+                   "write them into the current directory as the "
+                   "original run did",
+                   "out/replay");
     if (!args.parse(argc, argv, std::cerr))
         return usageExit(args);
     if (args.positional().size() != 1) {
@@ -1434,6 +1441,7 @@ cmdReplay(int argc, const char *const *argv)
 
     replay::ReplayOptions opts;
     opts.saveFreshDir = args.getString("save-fresh");
+    opts.artifactDir = args.getString("out-dir", "out/replay");
     {
         telemetry::ReportDiffOptions extra;
         telemetry::addIgnoreSpecs(extra, args.getStrings("ignore"));
@@ -1584,7 +1592,7 @@ void
 usage(std::ostream &out)
 {
     out << "usage: gables [--log-level L] [--profile] "
-           "[--record PATH] <command> [options]\n"
+           "[--record PATH] [--no-simd] <command> [options]\n"
            "commands:\n"
            "  eval        evaluate a usecase on a SoC\n"
            "  sweep       mixing sweep over the work fraction\n"
@@ -1617,6 +1625,9 @@ usage(std::ostream &out)
            "  --record PATH  record this invocation (argv, config\n"
            "                 files, RunReport) into a replay bundle\n"
            "                 at PATH; outputs are unchanged\n"
+           "  --no-simd      evaluate grids one point at a time on\n"
+           "                 the scalar reference path (outputs are\n"
+           "                 bit-identical; only speed changes)\n"
            "exit codes: 0 success, 1 data/config error, 2 usage "
            "error (see docs/ERRORS.md)\n"
            "run 'gables <command> --help' for per-command options\n";

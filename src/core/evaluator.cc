@@ -1,6 +1,7 @@
 #include "core/evaluator.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 
@@ -270,6 +271,325 @@ GablesEvaluator::evaluate()
     GablesResult out;
     evaluate(out);
     return out;
+}
+
+namespace simd {
+
+namespace {
+
+#ifndef GABLES_DISABLE_SIMD
+// Relaxed is enough: the flag is set once at process startup (or by a
+// scoped guard on one thread); drivers only read it to pick a path,
+// and both paths produce identical bits anyway.
+std::atomic<bool> g_enabled{true};
+#endif
+
+} // namespace
+
+bool
+enabled()
+{
+#ifdef GABLES_DISABLE_SIMD
+    return false;
+#else
+    return g_enabled.load(std::memory_order_relaxed);
+#endif
+}
+
+bool
+setEnabled(bool on)
+{
+#ifdef GABLES_DISABLE_SIMD
+    (void)on;
+    return false;
+#else
+    return g_enabled.exchange(on, std::memory_order_relaxed);
+#endif
+}
+
+} // namespace simd
+
+GablesEvalPack::GablesEvalPack(const GablesEvaluator &base)
+{
+    broadcast(base);
+}
+
+void
+GablesEvalPack::broadcast(const GablesEvaluator &base)
+{
+    n_ = base.numIps();
+    const size_t rows = n_ * kWidth;
+    accel_.resize(rows);
+    bandwidth_.resize(rows);
+    fraction_.resize(rows);
+    intensity_.resize(rows);
+    intensityEff_.resize(rows);
+    dataBytes_.resize(rows);
+    time_.resize(rows);
+    rowDirty_.assign(n_, 1);
+    anyDirty_ = true;
+
+    ppeak_.fill(base.ppeak());
+    bpeak_.fill(base.bpeak());
+    for (size_t i = 0; i < n_; ++i) {
+        const size_t o = i * kWidth;
+        const double a = base.acceleration(i);
+        const double b = base.ipBandwidth(i);
+        const double f = base.fraction(i);
+        const double in = base.intensity(i);
+        const double eff = f > 0.0 ? in : 1.0;
+        for (size_t w = 0; w < kWidth; ++w) {
+            accel_[o + w] = a;
+            bandwidth_[o + w] = b;
+            fraction_[o + w] = f;
+            intensity_[o + w] = in;
+            intensityEff_[o + w] = eff;
+        }
+    }
+    // evals_ deliberately survives broadcast(): a worker's pack is
+    // re-broadcast per chunk, and its lifetime count feeds the same
+    // model.evals totals a per-worker scalar evaluator would.
+}
+
+// The bulk row setters live here (not inline in the header) so they
+// compile under the evaluator vector flags: validation runs as a
+// scalar lane-order loop (same first-failure message as the per-lane
+// mutators), then the stores vectorize.
+
+void
+GablesEvalPack::setFractionRow(size_t i, const double *fractions,
+                               size_t cnt)
+{
+    checkIp(i);
+    checkCount(cnt);
+    const size_t o = i * kWidth;
+    for (size_t w = 0; w < cnt; ++w) {
+        const double f = fractions[w];
+        if (!(f >= 0.0) || std::isinf(f))
+            fatal("evaluator: fraction f[" + std::to_string(i) +
+                  "] must be in [0, 1]");
+        if (f > 0.0 && !(intensity_[o + w] > 0.0))
+            fatal("evaluator: intensity I[" + std::to_string(i) +
+                  "] must be > 0 where work is assigned");
+    }
+    double *__restrict__ fr = fraction_.data() + o;
+    double *__restrict__ ie = intensityEff_.data() + o;
+    const double *__restrict__ in = intensity_.data() + o;
+#pragma omp simd
+    for (size_t w = 0; w < cnt; ++w) {
+        fr[w] = fractions[w];
+        ie[w] = fractions[w] > 0.0 ? in[w] : 1.0;
+    }
+    rowDirty_[i] = 1;
+    anyDirty_ = true;
+}
+
+void
+GablesEvalPack::setIntensityRow(size_t i, const double *intensities,
+                                size_t cnt)
+{
+    checkIp(i);
+    checkCount(cnt);
+    const size_t o = i * kWidth;
+    for (size_t w = 0; w < cnt; ++w) {
+        if (fraction_[o + w] > 0.0 && !(intensities[w] > 0.0))
+            fatal("evaluator: intensity I[" + std::to_string(i) +
+                  "] must be > 0 where work is assigned");
+    }
+    double *__restrict__ in = intensity_.data() + o;
+    double *__restrict__ ie = intensityEff_.data() + o;
+    const double *__restrict__ fr = fraction_.data() + o;
+#pragma omp simd
+    for (size_t w = 0; w < cnt; ++w) {
+        in[w] = intensities[w];
+        ie[w] = fr[w] > 0.0 ? intensities[w] : 1.0;
+    }
+    rowDirty_[i] = 1;
+    anyDirty_ = true;
+}
+
+void
+GablesEvalPack::setAccelerationRow(size_t i,
+                                   const double *accelerations,
+                                   size_t cnt)
+{
+    checkIp(i);
+    checkCount(cnt);
+    for (size_t w = 0; w < cnt; ++w) {
+        const double a = accelerations[w];
+        if (!(a > 0.0) || std::isinf(a))
+            fatal("evaluator: IP[" + std::to_string(i) +
+                  "] acceleration must be positive and finite");
+        if (i == 0 && a != 1.0)
+            fatal("evaluator: IP[0] acceleration A0 must be 1 "
+                  "(paper Section III-D)");
+    }
+    double *__restrict__ ac = accel_.data() + i * kWidth;
+    for (size_t w = 0; w < cnt; ++w)
+        ac[w] = accelerations[w];
+    rowDirty_[i] = 1;
+    anyDirty_ = true;
+}
+
+void
+GablesEvalPack::setIpBandwidthRow(size_t i, const double *bandwidths,
+                                  size_t cnt)
+{
+    checkIp(i);
+    checkCount(cnt);
+    for (size_t w = 0; w < cnt; ++w) {
+        if (!(bandwidths[w] > 0.0) || std::isinf(bandwidths[w]))
+            fatal("evaluator: IP[" + std::to_string(i) +
+                  "] bandwidth must be positive and finite");
+    }
+    double *__restrict__ bw = bandwidth_.data() + i * kWidth;
+    for (size_t w = 0; w < cnt; ++w)
+        bw[w] = bandwidths[w];
+    rowDirty_[i] = 1;
+    anyDirty_ = true;
+}
+
+void
+GablesEvalPack::setBpeakLanes(const double *bpeaks, size_t cnt)
+{
+    checkCount(cnt);
+    for (size_t w = 0; w < cnt; ++w) {
+        if (!(bpeaks[w] > 0.0) || std::isinf(bpeaks[w]))
+            fatal("evaluator: Bpeak must be positive and finite");
+    }
+    // Memory time is derived at run(), so no row dirtying.
+    for (size_t w = 0; w < cnt; ++w)
+        bpeak_[w] = bpeaks[w];
+}
+
+void
+GablesEvalPack::run(size_t activeLanes)
+{
+    GABLES_ASSERT(activeLanes <= kWidth,
+                  "pack run() with more active lanes than the width");
+
+    // Phase 1: recompute rows a mutation touched. Each row is the
+    // scalar recomputeLane() arithmetic replicated across lanes,
+    // with no branch or select at all — the mutators pre-sanitize
+    // the divisor (intensityEff_) so that plain division reproduces
+    // the scalar path's branches bit-for-bit:
+    //  - f == 0: eff is pinned to 1.0, so db = 0/1 = +0.0, the
+    //    scalar path's literal 0.0 (dividing by a raw idle-lane
+    //    intensity <= 0 would give -0.0 or NaN); ct = 0/peak = +0,
+    //    tt = 0/b = +0, time = +0.
+    //  - Ii = inf with f > 0: db = f/inf = +0.0, exactly the scalar
+    //    isinf() special case.
+    // Keeping the body straight-line arithmetic is what lets the
+    // compiler turn a row into a handful of vector ops; a select
+    // over a division defeats GCC's vectorizer at -O3 (the
+    // fully-unrolled loop is never if-converted). The __restrict__
+    // locals matter just as much: without them GCC cannot prove the
+    // derived-row stores don't alias the parameter-row loads, and
+    // SLP on the unrolled body silently falls back to 8 scalar
+    // divisions per row.
+    if (anyDirty_) {
+        const double *__restrict__ fr = fraction_.data();
+        const double *__restrict__ ac = accel_.data();
+        const double *__restrict__ ie = intensityEff_.data();
+        const double *__restrict__ bw = bandwidth_.data();
+        double *__restrict__ db_row = dataBytes_.data();
+        double *__restrict__ t_row = time_.data();
+        for (size_t i = 0; i < n_; ++i) {
+            if (!rowDirty_[i])
+                continue;
+            rowDirty_[i] = 0;
+            const size_t o = i * kWidth;
+            // The pragma (a no-op unless built with -fopenmp-simd)
+            // keeps the loop in loop form for the vectorizer; GCC's
+            // early complete unrolling otherwise leaves straight-
+            // line code the SLP pass refuses to vectorize.
+#pragma omp simd
+            for (size_t w = 0; w < kWidth; ++w) {
+                const double f = fr[o + w];
+                // Same product SocSpec::ipPeakPerf() evaluates, so
+                // the quotient matches the scalar peak_[i] path.
+                const double ct = f / (ac[o + w] * ppeak_[w]);
+                const double db = f / ie[o + w];
+                const double tt = db / bw[o + w];
+                db_row[o + w] = db;
+                t_row[o + w] = std::max(tt, ct);
+            }
+        }
+
+        // Phase 2: reductions, cached until the next row mutation —
+        // the pack analogue of the scalar totalsDirty_ cache, so a
+        // Bpeak-only grid (whose mutations dirty no row) skips both
+        // phases exactly like the scalar refresh() no-ops. i outer /
+        // w inner keeps every lane's chain in IP index order —
+        // identical operands in identical order to the scalar
+        // refresh(), vectorized across lanes only.
+        std::array<double, kWidth> total{};
+        std::array<double, kWidth> maxt{};
+        for (size_t i = 0; i < n_; ++i) {
+            const size_t o = i * kWidth;
+#pragma omp simd
+            for (size_t w = 0; w < kWidth; ++w)
+                total[w] += db_row[o + w];
+#pragma omp simd
+            for (size_t w = 0; w < kWidth; ++w)
+                maxt[w] = std::max(maxt[w], t_row[o + w]);
+        }
+        totalBytes_ = total;
+        maxIpTime_ = maxt;
+        anyDirty_ = false;
+    }
+
+    // Finalization: the only terms that depend on Bpeak, recomputed
+    // every run() from the cached reductions.
+#pragma omp simd
+    for (size_t w = 0; w < kWidth; ++w) {
+        memTime_[w] = totalBytes_[w] / bpeak_[w];
+        att_[w] = 1.0 / std::max(maxIpTime_[w], memTime_[w]);
+    }
+    for (size_t w = 0; w < activeLanes; ++w)
+        GABLES_ASSERT(std::max(maxIpTime_[w], memTime_[w]) > 0.0,
+                      "usecase produced zero total time; "
+                      "Ppeak infinite?");
+
+    evals_ += activeLanes;
+}
+
+void
+GablesEvalPack::paramSums(double *accelSums, double *bwSums) const
+{
+    const double *__restrict__ ac = accel_.data();
+    const double *__restrict__ bw = bandwidth_.data();
+    double *__restrict__ sa = accelSums;
+    double *__restrict__ sb = bwSums;
+#pragma omp simd
+    for (size_t w = 0; w < kWidth; ++w) {
+        sa[w] = 0.0;
+        sb[w] = 0.0;
+    }
+    for (size_t i = 0; i < n_; ++i) {
+        const size_t o = i * kWidth;
+#pragma omp simd
+        for (size_t w = 0; w < kWidth; ++w) {
+            sa[w] += ac[o + w];
+            sb[w] += bw[o + w];
+        }
+    }
+}
+
+int
+GablesEvalPack::bottleneckIp(size_t lane) const
+{
+    checkLane(lane);
+    // Same deterministic contract as GablesEvaluator::evaluate():
+    // memory wins ties, then the lowest IP index.
+    const double max_time = std::max(maxIpTime_[lane], memTime_[lane]);
+    if (memTime_[lane] >= max_time)
+        return -1;
+    for (size_t i = 0; i < n_; ++i) {
+        if (time_[i * kWidth + lane] >= max_time)
+            return static_cast<int>(i);
+    }
+    return -1; // Unreachable: max_time is one of the IP times.
 }
 
 } // namespace gables

@@ -24,12 +24,70 @@
 #ifndef GABLES_CORE_EVALUATOR_H
 #define GABLES_CORE_EVALUATOR_H
 
+#include <array>
+#include <cmath>
+#include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/gables.h"
+#include "util/logging.h"
 
 namespace gables {
+
+/**
+ * Build/runtime switches for the packed (SIMD-batched) evaluation
+ * path. The packed path is bit-identical to the scalar path, so the
+ * toggle exists for verification (A/B in tests and benches) and as an
+ * escape hatch, not because results differ.
+ */
+namespace simd {
+
+/** Lanes per evaluation pack (grid points evaluated per pass). */
+#ifdef GABLES_PACK_WIDTH
+inline constexpr size_t kPackWidth = GABLES_PACK_WIDTH;
+#else
+inline constexpr size_t kPackWidth = 8;
+#endif
+static_assert(kPackWidth >= 2 && (kPackWidth & (kPackWidth - 1)) == 0,
+              "pack width must be a power of two >= 2");
+
+/** False when built with -DGABLES_DISABLE_SIMD=ON. */
+#ifdef GABLES_DISABLE_SIMD
+inline constexpr bool kCompiledIn = false;
+#else
+inline constexpr bool kCompiledIn = true;
+#endif
+
+/**
+ * @return Whether grid drivers should dispatch to the packed path.
+ * Always false when the path is compiled out.
+ */
+bool enabled();
+
+/**
+ * Toggle the packed path at runtime (the `--no-simd` global CLI
+ * flag). Ignored — pinned false — when compiled out.
+ *
+ * @return The previous setting.
+ */
+bool setEnabled(bool on);
+
+/** RAII toggle for A/B measurement in tests and benches. */
+class ScopedEnable
+{
+  public:
+    explicit ScopedEnable(bool on) : prev_(setEnabled(on)) {}
+    ~ScopedEnable() { setEnabled(prev_); }
+    ScopedEnable(const ScopedEnable &) = delete;
+    ScopedEnable &operator=(const ScopedEnable &) = delete;
+
+  private:
+    bool prev_;
+};
+
+} // namespace simd
 
 /**
  * A precompiled (SocSpec, Usecase) pair with cheap single-parameter
@@ -150,6 +208,290 @@ class GablesEvaluator
     double totalBytes_ = 0.0;
     double maxIpTime_ = 0.0;
     bool totalsDirty_ = true;
+
+    uint64_t evals_ = 0;
+};
+
+/**
+ * A pack of simd::kPackWidth independent model evaluations batched
+ * for auto-vectorization.
+ *
+ * Where GablesEvaluator lays out one grid point as per-IP arrays,
+ * the pack transposes W points into structure-of-arrays rows of W
+ * lanes each (row-major [ip][lane]), so the per-IP recompute and the
+ * min/bottleneck reductions of paper Eqs. 5-8 and 12-14 run as plain
+ * fixed-trip-count inner loops over contiguous doubles — exactly the
+ * shape `-O3` auto-vectorizes with no intrinsics.
+ *
+ * Bit-identity contract: every lane produces the same bits as a
+ * GablesEvaluator fed the same mutation sequence. Two rules make
+ * that hold:
+ *  - per-lane arithmetic uses the same expressions and operand order
+ *    as GablesEvaluator::recomputeLane() (the one scalar branch,
+ *    f > 0, is replaced by a select that is value- and bit-exact in
+ *    all cases, including Ii = inf and idle lanes);
+ *  - reductions keep each lane's chain in IP index order — the
+ *    vectorized loops batch *across* lanes (w) and never reassociate
+ *    *within* a lane (i).
+ * The property-fuzz suite enforces this bitwise.
+ *
+ * Thread-safety: mutable state; one pack per worker, like the scalar
+ * evaluator.
+ */
+class GablesEvalPack
+{
+  public:
+    /** Lanes per pack. */
+    static constexpr size_t kWidth = simd::kPackWidth;
+
+    /** Compile a pack with every lane a copy of @p base. */
+    explicit GablesEvalPack(const GablesEvaluator &base);
+
+    /** Reset every lane to a copy of @p base (no allocation when the
+     * IP count is unchanged). */
+    void broadcast(const GablesEvaluator &base);
+
+    /** @return Number of IPs N (identical in every lane). */
+    size_t numIps() const { return n_; }
+
+    /**
+     * @name Per-lane single-parameter mutators
+     *
+     * Same contracts and validation messages as the scalar
+     * GablesEvaluator mutators; @p lane < kWidth selects the grid
+     * point. Mutations are buffered — run() recomputes only rows a
+     * mutation touched. Defined inline: drivers stage one mutation
+     * per lane per grid point, so the call itself is on the packed
+     * path's critical path.
+     */
+    /** @{ */
+    void setPpeak(size_t lane, double ppeak)
+    {
+        checkLane(lane);
+        if (!(ppeak > 0.0) || std::isinf(ppeak))
+            fatal("evaluator: Ppeak must be positive and finite");
+        ppeak_[lane] = ppeak;
+        // Ppeak scales every IP's compute roof.
+        for (size_t i = 0; i < n_; ++i)
+            rowDirty_[i] = 1;
+        anyDirty_ = true;
+    }
+
+    void setBpeak(size_t lane, double bpeak)
+    {
+        checkLane(lane);
+        if (!(bpeak > 0.0) || std::isinf(bpeak))
+            fatal("evaluator: Bpeak must be positive and finite");
+        // Memory time is derived at run(), so no row changes.
+        bpeak_[lane] = bpeak;
+    }
+
+    void setAcceleration(size_t lane, size_t i, double acceleration)
+    {
+        checkLane(lane);
+        checkIp(i);
+        if (!(acceleration > 0.0) || std::isinf(acceleration))
+            fatal("evaluator: IP[" + std::to_string(i) +
+                  "] acceleration must be positive and finite");
+        if (i == 0 && acceleration != 1.0)
+            fatal("evaluator: IP[0] acceleration A0 must be 1 "
+                  "(paper Section III-D)");
+        accel_[i * kWidth + lane] = acceleration;
+        rowDirty_[i] = 1;
+        anyDirty_ = true;
+    }
+
+    void setIpBandwidth(size_t lane, size_t i, double bandwidth)
+    {
+        checkLane(lane);
+        checkIp(i);
+        if (!(bandwidth > 0.0) || std::isinf(bandwidth))
+            fatal("evaluator: IP[" + std::to_string(i) +
+                  "] bandwidth must be positive and finite");
+        bandwidth_[i * kWidth + lane] = bandwidth;
+        rowDirty_[i] = 1;
+        anyDirty_ = true;
+    }
+
+    void setFraction(size_t lane, size_t i, double fraction)
+    {
+        checkLane(lane);
+        checkIp(i);
+        if (!(fraction >= 0.0) || std::isinf(fraction))
+            fatal("evaluator: fraction f[" + std::to_string(i) +
+                  "] must be in [0, 1]");
+        const size_t r = i * kWidth + lane;
+        if (fraction > 0.0 && !(intensity_[r] > 0.0))
+            fatal("evaluator: intensity I[" + std::to_string(i) +
+                  "] must be > 0 where work is assigned");
+        fraction_[r] = fraction;
+        intensityEff_[r] = fraction > 0.0 ? intensity_[r] : 1.0;
+        rowDirty_[i] = 1;
+        anyDirty_ = true;
+    }
+
+    void setIntensity(size_t lane, size_t i, double intensity)
+    {
+        checkLane(lane);
+        checkIp(i);
+        const size_t r = i * kWidth + lane;
+        if (fraction_[r] > 0.0 && !(intensity > 0.0))
+            fatal("evaluator: intensity I[" + std::to_string(i) +
+                  "] must be > 0 where work is assigned");
+        intensity_[r] = intensity;
+        intensityEff_[r] = fraction_[r] > 0.0 ? intensity : 1.0;
+        rowDirty_[i] = 1;
+        anyDirty_ = true;
+    }
+
+    void setWork(size_t lane, size_t i, double fraction,
+                 double intensity)
+    {
+        checkLane(lane);
+        checkIp(i);
+        if (!(fraction >= 0.0) || std::isinf(fraction))
+            fatal("evaluator: fraction f[" + std::to_string(i) +
+                  "] must be in [0, 1]");
+        if (fraction > 0.0 && !(intensity > 0.0))
+            fatal("evaluator: intensity I[" + std::to_string(i) +
+                  "] must be > 0 where work is assigned");
+        const size_t r = i * kWidth + lane;
+        fraction_[r] = fraction;
+        intensity_[r] = intensity;
+        intensityEff_[r] = fraction > 0.0 ? intensity : 1.0;
+        rowDirty_[i] = 1;
+        anyDirty_ = true;
+    }
+    /** @} */
+
+    /**
+     * @name Bulk row staging
+     *
+     * Set one parameter across the first @p cnt lanes from an array
+     * — one call stages a whole grid-point batch, which is how the
+     * sweep drivers feed packs. Validation is identical to the
+     * per-lane mutators, applied in lane order (the first invalid
+     * lane produces the same fatal() the scalar sweep would hit at
+     * that grid point). Lanes >= cnt keep their previous values.
+     */
+    /** @{ */
+    void setFractionRow(size_t i, const double *fractions,
+                        size_t cnt);
+    void setIntensityRow(size_t i, const double *intensities,
+                         size_t cnt);
+    void setAccelerationRow(size_t i, const double *accelerations,
+                            size_t cnt);
+    void setIpBandwidthRow(size_t i, const double *bandwidths,
+                           size_t cnt);
+    /** Per-lane Bpeak from an array (no row recompute needed). */
+    void setBpeakLanes(const double *bpeaks, size_t cnt);
+    /** @} */
+
+    /**
+     * Evaluate all lanes: recompute dirty rows, reduce, and cache
+     * per-lane attainable performance. Lanes past @p activeLanes are
+     * still computed (they hold stale-but-valid parameters) but are
+     * not counted.
+     *
+     * @param activeLanes Number of lanes carrying real grid points;
+     *        added to evalCount() so telemetry totals match the
+     *        scalar path exactly.
+     */
+    void run(size_t activeLanes);
+
+    /** @return Attainable performance of @p lane from the last
+     * run(); bit-identical to GablesEvaluator::attainable(). */
+    double attainable(size_t lane) const { return att_.at(lane); }
+
+    /** @return Lane @p lane's current off-chip bandwidth Bpeak. */
+    double bpeak(size_t lane) const { return bpeak_.at(lane); }
+
+    /**
+     * Per-lane sums of the acceleration and link-bandwidth rows,
+     * each accumulated in IP index order — the order
+     * CostModel::cost() visits the IPs, so a linear cost computed
+     * from these sums matches the scalar loop bit-for-bit. Reads the
+     * staged parameters directly (no run() required).
+     *
+     * @param accelSums Out: kWidth sums of Ai per lane.
+     * @param bwSums    Out: kWidth sums of Bi per lane.
+     */
+    void paramSums(double *accelSums, double *bwSums) const;
+
+    /** @return Bottleneck attribution of @p lane from the last
+     * run(): -1 for memory, else the lowest bottleneck IP index —
+     * the same tie-break contract as GablesEvaluator::evaluate(). */
+    int bottleneckIp(size_t lane) const;
+
+    /** @return Evaluations served (active lanes across run() calls),
+     * for the model.evals telemetry counters. */
+    uint64_t evalCount() const { return evals_; }
+
+  private:
+    void checkLane(size_t lane) const
+    {
+        if (lane >= kWidth)
+            fatal("evaluator: pack lane " + std::to_string(lane) +
+                  " out of range (W=" + std::to_string(kWidth) +
+                  ")");
+    }
+
+    void checkIp(size_t i) const
+    {
+        if (i >= n_)
+            fatal("evaluator: IP index " + std::to_string(i) +
+                  " out of range (N=" + std::to_string(n_) + ")");
+    }
+
+    static void checkCount(size_t cnt)
+    {
+        if (cnt > kWidth)
+            fatal("evaluator: bulk lane count " +
+                  std::to_string(cnt) + " exceeds pack width W=" +
+                  std::to_string(kWidth));
+    }
+
+    size_t n_ = 0;
+
+    // Per-lane scalars.
+    std::array<double, kWidth> ppeak_{};
+    std::array<double, kWidth> bpeak_{};
+
+    // SoA rows, row-major [i * kWidth + lane].
+    std::vector<double> accel_;
+    std::vector<double> bandwidth_;
+    std::vector<double> fraction_;
+    std::vector<double> intensity_;
+    // The divisor run() actually uses for dataBytes: the raw
+    // intensity where fraction > 0, and a harmless 1.0 on idle lanes
+    // (where the raw value may legally be <= 0 and f/I would produce
+    // -0.0 or NaN instead of the scalar path's literal 0.0; 0/1
+    // yields the identical +0.0 bits). Maintained at mutation time
+    // so run()'s inner loop is pure branch-free arithmetic — the
+    // whole point of the pack — while intensity_ keeps the raw value
+    // for validation parity with the scalar mutators.
+    std::vector<double> intensityEff_;
+
+    // Derived rows (only the terms the reductions consume).
+    std::vector<double> dataBytes_;
+    std::vector<double> time_;
+
+    // Per-lane reductions over the rows, cached across run() calls
+    // until a mutation dirties a row (the scalar totalsDirty_
+    // analogue — Bpeak-only grids never recompute them).
+    std::array<double, kWidth> totalBytes_{};
+    std::array<double, kWidth> maxIpTime_{};
+
+    // Per-lane results of the last run().
+    std::array<double, kWidth> memTime_{};
+    std::array<double, kWidth> att_{};
+
+    // Rows touched by a mutation since the last run(). rowDirty_[i]
+    // covers all lanes of row i: recomputing a clean lane reproduces
+    // identical bits, so over-recompute is harmless and keeps the
+    // inner loops branch-free.
+    std::vector<uint8_t> rowDirty_;
+    bool anyDirty_ = true;
 
     uint64_t evals_ = 0;
 };

@@ -31,24 +31,29 @@ slurp(const std::string &path)
 
 /**
  * Scoped installation of the replay hooks: the bundle's config-file
- * overrides and a fresh-report capture sink. Restores the previous
- * hooks on destruction so replays nest under an active recorder.
+ * overrides, a fresh-report capture sink, and the artifact-dir
+ * redirect for relative output paths baked into the recorded argv.
+ * Restores the previous hooks on destruction so replays nest under
+ * an active recorder.
  */
 class ReplayHooks
 {
   public:
-    explicit ReplayHooks(const ReplayBundle &bundle)
-        : overrides_(bundle.configFiles)
+    ReplayHooks(const ReplayBundle &bundle,
+                const std::string &artifact_dir)
+        : overrides_(bundle.configFiles), artifactDir_(artifact_dir)
     {
         prevOverrides_ = setConfigFileOverrides(&overrides_);
         prevSink_ =
             telemetry::RunReport::setCaptureSink(&freshReport_);
+        prevArtifactDir_ = setArtifactDirOverride(&artifactDir_);
     }
 
     ~ReplayHooks()
     {
         setConfigFileOverrides(prevOverrides_);
         telemetry::RunReport::setCaptureSink(prevSink_);
+        setArtifactDirOverride(prevArtifactDir_);
     }
 
     ReplayHooks(const ReplayHooks &) = delete;
@@ -59,10 +64,12 @@ class ReplayHooks
 
   private:
     std::map<std::string, std::string> overrides_;
+    std::string artifactDir_;
     std::string freshReport_;
     const std::map<std::string, std::string> *prevOverrides_ =
         nullptr;
     std::string *prevSink_ = nullptr;
+    const std::string *prevArtifactDir_ = nullptr;
 };
 
 /** Write the fresh report next to the recorded ones for offline
@@ -127,7 +134,7 @@ replayBundle(const std::string &path, const CommandRunner &run,
     int fresh_code = 0;
     std::string fresh_json;
     {
-        ReplayHooks hooks(bundle);
+        ReplayHooks hooks(bundle, opts.artifactDir);
         fresh_code = run(bundle.argv);
         fresh_json = hooks.freshReport();
     }

@@ -45,6 +45,16 @@ struct ReplayOptions {
      * regressions can be diffed offline.
      */
     std::string saveFreshDir;
+    /**
+     * Directory that relative-path artifacts written by the replayed
+     * command (e.g. a recorded `--metrics replay-out.json`) are
+     * redirected into, so replays don't litter the caller's working
+     * directory with the recording's output files. Empty disables
+     * the redirect (artifacts land relative to the CWD, as the
+     * original run wrote them). Absolute recorded paths are never
+     * redirected.
+     */
+    std::string artifactDir = "out/replay";
 };
 
 /** What happened when one bundle was replayed. */

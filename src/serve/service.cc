@@ -265,6 +265,42 @@ handleEval(EvaluatorCache &cache, const JsonValue &req)
     return out.str();
 }
 
+/** Batch-dispatch one sweep axis onto a pack: kWidth values per
+ * pass. The cached entry's evaluator is only read (broadcast), never
+ * mutated, so no restore is needed and a mid-sweep error leaves the
+ * entry untouched. Output bits match the scalar per-point loop. */
+void
+sweepPacked(const GablesEvaluator &base, const std::string &axis,
+            size_t ip, const std::vector<double> &values,
+            const Deadline &deadline, std::vector<double> &attainable)
+{
+    constexpr size_t W = GablesEvalPack::kWidth;
+    GablesEvalPack pack(base);
+    // Same ~1024-point cadence as the scalar loop's (i & 1023) test.
+    size_t next_check = 1023;
+    for (size_t p0 = 0; p0 < values.size(); p0 += W) {
+        if (p0 + W > next_check) {
+            if (deadline.expired())
+                throw RequestError{ServeError{
+                    ErrorKind::Deadline,
+                    "deadline expired mid-sweep after " +
+                        std::to_string(p0) + " points"}};
+            next_check += 1024;
+        }
+        const size_t cnt = std::min(W, values.size() - p0);
+        const double *vs = values.data() + p0;
+        if (axis == "intensity")
+            pack.setIntensityRow(ip, vs, cnt);
+        else if (axis == "fraction")
+            pack.setFractionRow(ip, vs, cnt);
+        else
+            pack.setBpeakLanes(vs, cnt);
+        pack.run(cnt);
+        for (size_t w = 0; w < cnt; ++w)
+            attainable.push_back(pack.attainable(w));
+    }
+}
+
 std::string
 handleSweep(EvaluatorCache &cache, const JsonValue &req,
             const Deadline &deadline, uint64_t *sweep_points)
@@ -291,7 +327,11 @@ handleSweep(EvaluatorCache &cache, const JsonValue &req,
         cache.acquire(soc, usecase, &hit);
     std::vector<double> attainable;
     attainable.reserve(values.size());
-    {
+    if (simd::enabled()) {
+        std::lock_guard<std::mutex> lock(entry->mutex);
+        sweepPacked(entry->evaluator, axis, ip, values, deadline,
+                    attainable);
+    } else {
         std::lock_guard<std::mutex> lock(entry->mutex);
         GablesEvaluator &ev = entry->evaluator;
         double saved = axis == "intensity" ? ev.intensity(ip)
@@ -341,7 +381,7 @@ handleSweep(EvaluatorCache &cache, const JsonValue &req,
 }
 
 std::string
-handleExplore(const JsonValue &req)
+handleExplore(const JsonValue &req, uint64_t *model_evals)
 {
     auto [soc, usecase] = resolvePair(req);
     CostModel cost;
@@ -399,6 +439,7 @@ handleExplore(const JsonValue &req)
     ExploreStats stats;
     std::vector<Candidate> frontier =
         explorer.exploreFrontier(opts, &stats);
+    *model_evals = stats.evals;
 
     std::ostringstream out;
     JsonWriter json(out, false);
@@ -492,6 +533,9 @@ ServeService::ServeService(const ServeOptions &options)
         "requests refused or abandoned past their deadline");
     stats_.sweepPoints = &registry_.counter(
         "serve.sweep_points", "sweep grid points served");
+    stats_.modelEvals = &registry_.counter(
+        "serve.model_evals",
+        "model evaluations performed by request handlers");
     stats_.bytesIn =
         &registry_.counter("serve.bytes_in",
                            "request bytes received");
@@ -553,11 +597,13 @@ ServeService::process(const std::string &line)
             result = "{\"pong\": true}";
         } else if (op == "eval") {
             result = handleEval(cache_, req);
+            outcome.modelEvals = 1;
         } else if (op == "sweep") {
             result = handleSweep(cache_, req, deadline,
                                  &outcome.sweepPoints);
+            outcome.modelEvals = outcome.sweepPoints;
         } else if (op == "explore") {
-            result = handleExplore(req);
+            result = handleExplore(req, &outcome.modelEvals);
         } else if (op == "advise") {
             result = handleAdvise(req);
         } else if (op == "stats") {
@@ -608,6 +654,9 @@ ServeService::commit(const std::string &line, const Outcome &outcome)
     if (outcome.sweepPoints > 0)
         stats_.sweepPoints->add(
             static_cast<double>(outcome.sweepPoints));
+    if (outcome.modelEvals > 0)
+        stats_.modelEvals->add(
+            static_cast<double>(outcome.modelEvals));
     stats_.requestSeconds->sample(outcome.seconds);
     stats_.bytesIn->add(static_cast<double>(line.size()));
     stats_.bytesOut->add(static_cast<double>(outcome.response.size()));
@@ -674,10 +723,27 @@ ServeService::statsReportJson()
     registry_
         .gauge("serve.cache_size", "evaluator-cache resident entries")
         .set(static_cast<double>(cache_.size()));
+    const double lookups =
+        static_cast<double>(cache_.hits() + cache_.misses());
+    registry_
+        .gauge("serve.cache_hit_rate",
+               "evaluator-cache hits / lookups (0 before the first "
+               "lookup)")
+        .set(lookups > 0.0
+                 ? static_cast<double>(cache_.hits()) / lookups
+                 : 0.0);
     telemetry::RunReport report("gables serve", "service");
     report.addConfig("jobs", static_cast<long>(options_.jobs));
     report.addConfig("cache_capacity",
                      static_cast<long>(options_.cacheCapacity));
+    // Loadgen runs read these to confirm the packed path is live:
+    // lane width 1 means every handler evaluates scalar.
+    report.addConfig("simd_lane_width",
+                     static_cast<long>(simd::enabled()
+                                           ? GablesEvalPack::kWidth
+                                           : 1));
+    report.addConfig("simd_compiled",
+                     static_cast<long>(simd::kCompiledIn ? 1 : 0));
     report.setRegistry(&registry_);
     std::ostringstream out;
     report.write(out);

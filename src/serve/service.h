@@ -119,6 +119,9 @@ class ServeService
         bool deadlineExpired = false;
         bool shutdown = false;
         uint64_t sweepPoints = 0;
+        /** Model evaluations the handler performed (eval = 1, sweep
+         * = points served, explore = ExploreStats::evals). */
+        uint64_t modelEvals = 0;
         double seconds = 0.0;
     };
 
@@ -147,6 +150,7 @@ class ServeService
         telemetry::Counter *responsesError = nullptr;
         telemetry::Counter *deadlineExpired = nullptr;
         telemetry::Counter *sweepPoints = nullptr;
+        telemetry::Counter *modelEvals = nullptr;
         telemetry::Counter *bytesIn = nullptr;
         telemetry::Counter *bytesOut = nullptr;
         telemetry::Distribution *requestSeconds = nullptr;

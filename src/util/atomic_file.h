@@ -34,6 +34,28 @@ namespace gables {
 void writeFileAtomic(const std::string &path,
                      const std::string &contents);
 
+/**
+ * Redirect relative-path writeFileAtomic() targets under @p dir.
+ *
+ * While an override is installed, every writeFileAtomic() call whose
+ * @p path is relative lands at "<dir>/<path>" (parent directories
+ * are created); absolute paths are untouched. `gables replay`
+ * installs this around the replayed command so artifacts recorded
+ * with relative paths (e.g. `--metrics replay-out-sweep.json`) stop
+ * littering the caller's working directory.
+ *
+ * Follows the scoped-install pattern of setConfigFileOverrides():
+ * pass the previous return value back to restore it. @p dir may be
+ * nullptr (or point at an empty string) to disable redirection. The
+ * pointed-to string must outlive the installation; installs are not
+ * thread-safe, but reads from writeFileAtomic() on worker threads
+ * are safe once installed.
+ *
+ * @param dir New override directory (nullptr = none).
+ * @return The previously installed override.
+ */
+const std::string *setArtifactDirOverride(const std::string *dir);
+
 } // namespace gables
 
 #endif // GABLES_UTIL_ATOMIC_FILE_H

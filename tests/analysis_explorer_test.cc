@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "analysis/explorer.h"
+#include "core/evaluator.h"
 #include "soc/catalog.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -364,6 +365,31 @@ TEST(ExploreFrontier, DuplicateKnobTargetsFallBack)
     expectSameFrontier(fast, reference, "duplicate knobs");
     EXPECT_EQ(stats.subgridsSkipped, 0u);
     EXPECT_EQ(stats.evalsPruned, 0u);
+}
+
+TEST(ExploreFrontier, PackedToggleIsByteIdentical)
+{
+    // Direct A/B across the runtime toggle: the packed grid path
+    // (incremental lane digits + pack-side cost sums) and the scalar
+    // path must return identical frontiers, pruned and unpruned. The
+    // grid width (64) is not a multiple of the pack width times the
+    // subgrid stride, so partial packs are exercised too.
+    DesignExplorer ex = gridExplorer();
+    for (bool prune : {true, false}) {
+        ExploreOptions opts;
+        opts.prune = prune;
+        auto packed = [&] {
+            simd::ScopedEnable on(true);
+            return ex.exploreFrontier(opts);
+        }();
+        auto scalar = [&] {
+            simd::ScopedEnable off(false);
+            return ex.exploreFrontier(opts);
+        }();
+        expectSameFrontier(packed, scalar,
+                           prune ? "toggle pruned"
+                                 : "toggle unpruned");
+    }
 }
 
 TEST(ExploreFrontier, StatsAccounting)

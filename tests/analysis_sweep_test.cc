@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/sweep.h"
+#include "core/evaluator.h"
 #include "core/gables.h"
 #include "soc/catalog.h"
 #include "util/logging.h"
@@ -184,6 +185,44 @@ TEST(SweepBitIdentity, MixingMatchesLegacyLoop)
                           base)
                 << "jobs " << jobs << " i " << i;
     }
+}
+
+// Direct A/B across the runtime toggle: the same driver call with
+// the packed path on and off must produce byte-identical series
+// (partial-pack tails included). This pins the `--no-simd` escape
+// hatch beyond the legacy-loop comparisons above.
+TEST(SweepBitIdentity, PackedToggleIsByteIdentical)
+{
+    SocSpec soc = SocCatalog::paperTwoIp();
+    Usecase u = Usecase::twoIp("u", 0.75, 8.0, 0.1);
+    // 11 points: one full pack plus a 3-lane tail at kWidth = 8.
+    std::vector<double> intensities;
+    for (int i = 0; i < 11; ++i)
+        intensities.push_back(0.05 * (i + 1) * (i + 1));
+
+    Series packed = [&] {
+        simd::ScopedEnable on(true);
+        return Sweep::intensity(soc, u, 1, intensities);
+    }();
+    Series scalar = [&] {
+        simd::ScopedEnable off(false);
+        return Sweep::intensity(soc, u, 1, intensities);
+    }();
+    ASSERT_EQ(packed.y.size(), scalar.y.size());
+    for (size_t i = 0; i < packed.y.size(); ++i)
+        EXPECT_EQ(packed.y[i], scalar.y[i]) << "i " << i;
+
+    Series packed_mix = [&] {
+        simd::ScopedEnable on(true);
+        return Sweep::mixing(soc, 4.0, 32.0, eighths());
+    }();
+    Series scalar_mix = [&] {
+        simd::ScopedEnable off(false);
+        return Sweep::mixing(soc, 4.0, 32.0, eighths());
+    }();
+    ASSERT_EQ(packed_mix.y.size(), scalar_mix.y.size());
+    for (size_t i = 0; i < packed_mix.y.size(); ++i)
+        EXPECT_EQ(packed_mix.y[i], scalar_mix.y[i]) << "i " << i;
 }
 
 TEST(CustomSweep, AppliesCallback)

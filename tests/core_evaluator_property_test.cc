@@ -5,6 +5,12 @@
  * bit-identical to a from-scratch GablesModel::evaluate() of the
  * equivalent (SocSpec, Usecase) pair — including idle (fi == 0) lanes
  * and infinite-intensity (no-traffic) lanes.
+ *
+ * The same harness also pins the packed path: every GablesEvalPack
+ * lane must stay bit-identical to a scalar GablesEvaluator fed the
+ * same mutation sequence, across random mutations and the degenerate
+ * cases (idle lanes, infinite intensity, denormal-small bandwidth)
+ * mixed into one pack.
  */
 
 #include <gtest/gtest.h>
@@ -17,6 +23,7 @@
 
 #include "core/evaluator.h"
 #include "core/gables.h"
+#include "util/logging.h"
 #include "util/rng.h"
 
 namespace gables {
@@ -214,6 +221,424 @@ TEST(EvaluatorProperty, MutationSequencesMatchRebuild)
                 << "seed " << seed << " step " << step;
         }
     }
+}
+
+/** Bottleneck attribution of a scalar evaluator via the full
+ * evaluate() path, for comparison with GablesEvalPack. */
+int
+scalarBottleneck(GablesEvaluator &ev, GablesResult &scratch)
+{
+    ev.evaluate(scratch);
+    return scratch.bottleneckIp;
+}
+
+TEST(EvaluatorProperty, PackMatchesScalarRandomMutations)
+{
+    constexpr size_t W = GablesEvalPack::kWidth;
+    GablesResult scratch;
+    for (uint64_t seed = 2000; seed < 2060; ++seed) {
+        Rng rng(seed);
+        Pair p = randomPair(rng);
+        GablesEvaluator base(p.soc(), p.usecase());
+        const size_t n = p.ips.size();
+
+        GablesEvalPack pack(base);
+        // One scalar mirror per lane; GablesEvaluator is copyable.
+        std::vector<GablesEvaluator> mirror(W, base);
+
+        for (int round = 0; round < 6; ++round) {
+            // A few random mutations per lane, applied identically
+            // to the pack lane and its scalar mirror. Lane 0's IP 0
+            // fraction stays positive so every lane keeps nonzero
+            // critical time.
+            for (size_t w = 0; w < W; ++w) {
+                int muts = static_cast<int>(rng.uniformInt(0, 3));
+                for (int m = 0; m < muts; ++m) {
+                    switch (rng.uniformInt(0, 5)) {
+                      case 0: {
+                        double v = rng.logUniform(1e9, 1e12);
+                        pack.setPpeak(w, v);
+                        mirror[w].setPpeak(v);
+                        break;
+                      }
+                      case 1: {
+                        double v = rng.logUniform(1e9, 1e11);
+                        pack.setBpeak(w, v);
+                        mirror[w].setBpeak(v);
+                        break;
+                      }
+                      case 2: {
+                        if (n == 1)
+                            continue;
+                        size_t i = static_cast<size_t>(rng.uniformInt(
+                            1, static_cast<int64_t>(n) - 1));
+                        double v = rng.logUniform(0.1, 100.0);
+                        pack.setAcceleration(w, i, v);
+                        mirror[w].setAcceleration(i, v);
+                        break;
+                      }
+                      case 3: {
+                        size_t i = static_cast<size_t>(rng.uniformInt(
+                            0, static_cast<int64_t>(n) - 1));
+                        double v = rng.logUniform(1e8, 1e11);
+                        pack.setIpBandwidth(w, i, v);
+                        mirror[w].setIpBandwidth(i, v);
+                        break;
+                      }
+                      case 4: {
+                        size_t i = static_cast<size_t>(rng.uniformInt(
+                            0, static_cast<int64_t>(n) - 1));
+                        double in = rng.uniformInt(0, 5) == 0
+                                        ? kInf
+                                        : rng.logUniform(0.01, 1000.0);
+                        // Idle only the tail IPs so lane time stays
+                        // positive (IP 0 keeps its work).
+                        double f = i > 0 && rng.uniformInt(0, 3) == 0
+                                       ? 0.0
+                                       : rng.logUniform(0.01, 1.0);
+                        pack.setWork(w, i, f, in);
+                        mirror[w].setWork(i, f, in);
+                        break;
+                      }
+                      default: {
+                        size_t i = static_cast<size_t>(rng.uniformInt(
+                            0, static_cast<int64_t>(n) - 1));
+                        if (mirror[w].fraction(i) == 0.0)
+                            continue;
+                        double in = rng.uniformInt(0, 5) == 0
+                                        ? kInf
+                                        : rng.logUniform(0.01, 1000.0);
+                        pack.setIntensity(w, i, in);
+                        mirror[w].setIntensity(i, in);
+                        break;
+                      }
+                    }
+                }
+            }
+            pack.run(W);
+            for (size_t w = 0; w < W; ++w) {
+                EXPECT_EQ(bits(pack.attainable(w)),
+                          bits(mirror[w].attainable()))
+                    << "seed " << seed << " round " << round
+                    << " lane " << w;
+                EXPECT_EQ(pack.bottleneckIp(w),
+                          scalarBottleneck(mirror[w], scratch))
+                    << "seed " << seed << " round " << round
+                    << " lane " << w;
+            }
+        }
+    }
+}
+
+TEST(EvaluatorProperty, PackDegenerateLanesMatchScalar)
+{
+    constexpr size_t W = GablesEvalPack::kWidth;
+    // A 4-IP pair with work spread across all IPs.
+    Pair p;
+    p.ppeak = 1e11;
+    p.bpeak = 2e10;
+    for (size_t i = 0; i < 4; ++i) {
+        IpSpec ip;
+        ip.name = "ip" + std::to_string(i);
+        ip.acceleration = i == 0 ? 1.0 : static_cast<double>(i) * 4.0;
+        ip.bandwidth = 5e9 * static_cast<double>(i + 1);
+        p.ips.push_back(ip);
+        IpWork w;
+        w.fraction = 0.25;
+        w.intensity = 2.0 * static_cast<double>(i + 1);
+        p.work.push_back(w);
+    }
+    GablesEvaluator base(p.soc(), p.usecase());
+    GablesEvalPack pack(base);
+    std::vector<GablesEvaluator> mirror(W, base);
+    GablesResult scratch;
+
+    // The constructors reject a literal zero bandwidth on both paths,
+    // so the closest reachable degenerate is the smallest positive
+    // denormal — its transfer time overflows to inf identically in
+    // both paths.
+    const double kTinyBw = std::numeric_limits<double>::denorm_min();
+
+    auto mutate = [&](size_t lane, auto &&fn) { fn(lane); };
+    // Lane 0: pure compute — every IP at infinite intensity.
+    mutate(0, [&](size_t w) {
+        for (size_t i = 0; i < 4; ++i) {
+            pack.setIntensity(w, i, kInf);
+            mirror[w].setIntensity(i, kInf);
+        }
+    });
+    // Lane 1: idle tail IPs (fi = 0), mass moved to IP 0.
+    mutate(1, [&](size_t w) {
+        pack.setFraction(w, 0, 1.0);
+        mirror[w].setFraction(0, 1.0);
+        for (size_t i = 1; i < 4; ++i) {
+            pack.setFraction(w, i, 0.0);
+            mirror[w].setFraction(i, 0.0);
+        }
+    });
+    // Lane 2: denormal-small link bandwidth (transfer time -> inf).
+    mutate(2, [&](size_t w) {
+        pack.setIpBandwidth(w, 2, kTinyBw);
+        mirror[w].setIpBandwidth(2, kTinyBw);
+    });
+    // Lane 3: all three degeneracies mixed in one lane.
+    mutate(3, [&](size_t w) {
+        pack.setWork(w, 1, 0.0, 1.0);
+        mirror[w].setWork(1, 0.0, 1.0);
+        pack.setIntensity(w, 3, kInf);
+        mirror[w].setIntensity(3, kInf);
+        pack.setIpBandwidth(w, 0, kTinyBw);
+        mirror[w].setIpBandwidth(0, kTinyBw);
+    });
+    // Lane 4: idle IP whose leftover intensity is *invalid for work*
+    // (zero) — legal while idle; the packed select must still pin its
+    // dataBytes to +0 like the scalar branch.
+    if (W > 4) {
+        pack.setWork(4, 3, 0.0, 0.0);
+        mirror[4].setWork(3, 0.0, 0.0);
+        pack.setFraction(4, 0, 0.5);
+        mirror[4].setFraction(0, 0.5);
+    }
+    // Remaining lanes stay broadcast copies of the base.
+
+    pack.run(W);
+    for (size_t w = 0; w < W; ++w) {
+        EXPECT_EQ(bits(pack.attainable(w)),
+                  bits(mirror[w].attainable()))
+            << "lane " << w;
+        EXPECT_EQ(pack.bottleneckIp(w),
+                  scalarBottleneck(mirror[w], scratch))
+            << "lane " << w;
+    }
+
+    // Mutators reject invalid values with the scalar path's checks.
+    EXPECT_THROW(pack.setFraction(0, 1, -0.5), FatalError);
+    EXPECT_THROW(pack.setIpBandwidth(0, 1, 0.0), FatalError);
+    EXPECT_THROW(pack.setWork(0, 1, 0.5, 0.0), FatalError);
+    EXPECT_THROW(pack.setAcceleration(0, 0, 2.0), FatalError);
+}
+
+TEST(EvaluatorProperty, PackBulkRowsMatchPerLaneMutators)
+{
+    constexpr size_t W = GablesEvalPack::kWidth;
+    for (uint64_t seed = 3000; seed < 3040; ++seed) {
+        Rng rng(seed);
+        Pair p = randomPair(rng);
+        GablesEvaluator base(p.soc(), p.usecase());
+        const size_t n = p.ips.size();
+
+        // Two packs fed the same values: one through the bulk row
+        // setters (the sweep drivers' staging path), one through the
+        // per-lane mutators already proven against the scalar path.
+        GablesEvalPack bulk(base);
+        GablesEvalPack lane(base);
+
+        for (int round = 0; round < 8; ++round) {
+            // Partial-count staging exercises the grid-tail case.
+            const size_t cnt =
+                static_cast<size_t>(rng.uniformInt(1, W));
+            double vals[W];
+            switch (rng.uniformInt(0, 4)) {
+              case 0: {
+                for (size_t w = 0; w < cnt; ++w)
+                    vals[w] = rng.uniform(0.0, 1.0);
+                size_t i = static_cast<size_t>(rng.uniformInt(
+                    0, static_cast<int64_t>(n) - 1));
+                // Keep the work-needs-intensity invariant: staging a
+                // positive fraction over a lane whose leftover
+                // intensity is invalid must throw identically, so
+                // give every lane a valid intensity first.
+                for (size_t w = 0; w < W; ++w) {
+                    bulk.setIntensity(w, i, 2.0);
+                    lane.setIntensity(w, i, 2.0);
+                }
+                bulk.setFractionRow(i, vals, cnt);
+                for (size_t w = 0; w < cnt; ++w)
+                    lane.setFraction(w, i, vals[w]);
+                break;
+              }
+              case 1: {
+                for (size_t w = 0; w < cnt; ++w)
+                    vals[w] = rng.uniformInt(0, 5) == 0
+                                  ? kInf
+                                  : rng.logUniform(0.01, 1000.0);
+                size_t i = static_cast<size_t>(rng.uniformInt(
+                    0, static_cast<int64_t>(n) - 1));
+                bulk.setIntensityRow(i, vals, cnt);
+                for (size_t w = 0; w < cnt; ++w)
+                    lane.setIntensity(w, i, vals[w]);
+                break;
+              }
+              case 2: {
+                if (n == 1)
+                    continue;
+                for (size_t w = 0; w < cnt; ++w)
+                    vals[w] = rng.logUniform(0.1, 100.0);
+                size_t i = static_cast<size_t>(rng.uniformInt(
+                    1, static_cast<int64_t>(n) - 1));
+                bulk.setAccelerationRow(i, vals, cnt);
+                for (size_t w = 0; w < cnt; ++w)
+                    lane.setAcceleration(w, i, vals[w]);
+                break;
+              }
+              case 3: {
+                for (size_t w = 0; w < cnt; ++w)
+                    vals[w] = rng.logUniform(1e8, 1e11);
+                size_t i = static_cast<size_t>(rng.uniformInt(
+                    0, static_cast<int64_t>(n) - 1));
+                bulk.setIpBandwidthRow(i, vals, cnt);
+                for (size_t w = 0; w < cnt; ++w)
+                    lane.setIpBandwidth(w, i, vals[w]);
+                break;
+              }
+              default: {
+                for (size_t w = 0; w < cnt; ++w)
+                    vals[w] = rng.logUniform(1e9, 1e11);
+                bulk.setBpeakLanes(vals, cnt);
+                for (size_t w = 0; w < cnt; ++w)
+                    lane.setBpeak(w, vals[w]);
+                break;
+              }
+            }
+            bulk.run(W);
+            lane.run(W);
+            for (size_t w = 0; w < W; ++w) {
+                EXPECT_EQ(bits(bulk.attainable(w)),
+                          bits(lane.attainable(w)))
+                    << "seed " << seed << " round " << round
+                    << " lane " << w;
+                EXPECT_EQ(bulk.bottleneckIp(w), lane.bottleneckIp(w))
+                    << "seed " << seed << " round " << round
+                    << " lane " << w;
+            }
+        }
+    }
+}
+
+TEST(EvaluatorProperty, PackBulkRowsValidateLikePerLane)
+{
+    Rng rng(42);
+    Pair p = randomPair(rng);
+    // Guarantee IP 0 carries work so intensity validation can fire.
+    p.work[0].fraction = std::max(p.work[0].fraction, 0.5);
+    p.work[0].intensity = 2.0;
+    GablesEvaluator base(p.soc(), p.usecase());
+    GablesEvalPack pack(base);
+    constexpr size_t W = GablesEvalPack::kWidth;
+
+    double bad_frac[W];
+    double bad_pos[W];
+    for (size_t w = 0; w < W; ++w) {
+        bad_frac[w] = 0.25;
+        bad_pos[w] = 1.0;
+    }
+    bad_frac[W - 1] = -0.5;
+    bad_pos[W - 1] = 0.0;
+    EXPECT_THROW(pack.setFractionRow(0, bad_frac, W), FatalError);
+    EXPECT_THROW(pack.setIntensityRow(0, bad_pos, W), FatalError);
+    EXPECT_THROW(pack.setIpBandwidthRow(0, bad_pos, W), FatalError);
+    EXPECT_THROW(pack.setBpeakLanes(bad_pos, W), FatalError);
+    if (p.ips.size() > 1) {
+        EXPECT_THROW(pack.setAccelerationRow(1, bad_pos, W),
+                     FatalError);
+    }
+    // A0 must stay 1 through the bulk path too.
+    double two[W];
+    for (size_t w = 0; w < W; ++w)
+        two[w] = 2.0;
+    EXPECT_THROW(pack.setAccelerationRow(0, two, W), FatalError);
+    // Count past the pack width is rejected, not clamped.
+    EXPECT_THROW(pack.setBpeakLanes(two, W + 1), FatalError);
+}
+
+TEST(EvaluatorProperty, PackParamSumsMatchCostModelOrder)
+{
+    for (uint64_t seed = 4000; seed < 4010; ++seed) {
+        Rng rng(seed);
+        Pair p = randomPair(rng);
+        GablesEvaluator base(p.soc(), p.usecase());
+        GablesEvalPack pack(base);
+        constexpr size_t W = GablesEvalPack::kWidth;
+        const size_t n = p.ips.size();
+
+        // Give every lane its own hardware point.
+        std::vector<std::vector<IpSpec>> perLane(W, p.ips);
+        for (size_t w = 0; w < W; ++w) {
+            for (size_t i = 0; i < n; ++i) {
+                double b = rng.logUniform(1e8, 1e11);
+                pack.setIpBandwidth(w, i, b);
+                perLane[w][i].bandwidth = b;
+                if (i > 0) {
+                    double a = rng.logUniform(0.1, 100.0);
+                    pack.setAcceleration(w, i, a);
+                    perLane[w][i].acceleration = a;
+                }
+            }
+        }
+
+        double sum_a[W];
+        double sum_b[W];
+        pack.paramSums(sum_a, sum_b);
+        for (size_t w = 0; w < W; ++w) {
+            // The scalar accumulation order of CostModel::cost().
+            double accel = 0.0;
+            double ip_bw = 0.0;
+            for (const IpSpec &ip : perLane[w]) {
+                accel += ip.acceleration;
+                ip_bw += ip.bandwidth;
+            }
+            EXPECT_EQ(bits(sum_a[w]), bits(accel))
+                << "seed " << seed << " lane " << w;
+            EXPECT_EQ(bits(sum_b[w]), bits(ip_bw))
+                << "seed " << seed << " lane " << w;
+        }
+    }
+}
+
+TEST(EvaluatorProperty, PackCachedReductionsSurviveBpeakOnlyRuns)
+{
+    Rng rng(11);
+    Pair p = randomPair(rng);
+    GablesEvaluator base(p.soc(), p.usecase());
+    GablesEvalPack pack(base);
+    std::vector<GablesEvaluator> mirror(GablesEvalPack::kWidth, base);
+    constexpr size_t W = GablesEvalPack::kWidth;
+
+    // Alternate row-dirtying rounds with Bpeak-only rounds (which
+    // leave every row clean and must reuse the cached reductions).
+    for (int round = 0; round < 10; ++round) {
+        if (round % 2 == 0) {
+            for (size_t w = 0; w < W; ++w) {
+                double b = rng.logUniform(1e9, 1e11);
+                pack.setBpeak(w, b);
+                mirror[w].setBpeak(b);
+            }
+        } else {
+            for (size_t w = 0; w < W; ++w) {
+                double in = rng.logUniform(0.01, 1000.0);
+                pack.setIntensity(w, 0, in);
+                mirror[w].setIntensity(0, in);
+            }
+        }
+        pack.run(W);
+        for (size_t w = 0; w < W; ++w)
+            EXPECT_EQ(bits(pack.attainable(w)),
+                      bits(mirror[w].attainable()))
+                << "round " << round << " lane " << w;
+    }
+}
+
+TEST(EvaluatorProperty, PackBroadcastPreservesEvalCount)
+{
+    Rng rng(7);
+    Pair p = randomPair(rng);
+    GablesEvaluator base(p.soc(), p.usecase());
+    GablesEvalPack pack(base);
+    pack.run(3);
+    EXPECT_EQ(pack.evalCount(), 3u);
+    pack.broadcast(base);
+    pack.run(GablesEvalPack::kWidth);
+    EXPECT_EQ(pack.evalCount(), 3u + GablesEvalPack::kWidth);
 }
 
 } // namespace

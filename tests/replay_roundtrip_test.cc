@@ -215,6 +215,47 @@ TEST(ReplayRoundTrip, UnreadableAndNestedBundlesAreBad)
     EXPECT_EQ(outcome.status, "bad-bundle");
 }
 
+// Artifacts the replayed command writes to relative paths (here the
+// recorded --metrics file) must land under ReplayOptions::artifactDir
+// instead of littering the working directory, and an empty
+// artifactDir must restore the original behavior.
+TEST(ReplayRoundTrip, RelativeArtifactsRedirectToOutDir)
+{
+    Rng rng(0x0D1A);
+    const std::string cfg = "replay_rt_redir.ini";
+    const std::string bundlePath = "replay_rt_redir_bundle.json";
+    const std::string metrics = "replay_rt_redir_metrics.json";
+    writeFile(cfg, randomConfig(rng));
+
+    std::vector<std::string> argv = {
+        "gables",    "eval", "--file",    cfg,
+        "--usecase", "mix",  "--metrics", metrics};
+    testing::internal::CaptureStdout();
+    replay::ReplayBundle b = record(argv);
+    testing::internal::GetCapturedStdout();
+    ASSERT_EQ(b.exitCode, 0);
+    writeBundleFile(bundlePath, b);
+    std::remove(metrics.c_str());
+
+    replay::ReplayOptions opts;
+    opts.artifactDir = "replay_rt_outdir";
+    testing::internal::CaptureStdout();
+    replay::ReplayOutcome outcome =
+        replay::replayBundle(bundlePath, cliRunner(), opts);
+    testing::internal::GetCapturedStdout();
+    EXPECT_EQ(outcome.exitCode, 0) << outcome.detail;
+    EXPECT_TRUE(readFile(metrics).empty())
+        << "metrics leaked into the working directory";
+    EXPECT_FALSE(readFile("replay_rt_outdir/" + metrics).empty());
+
+    opts.artifactDir.clear();
+    testing::internal::CaptureStdout();
+    outcome = replay::replayBundle(bundlePath, cliRunner(), opts);
+    testing::internal::GetCapturedStdout();
+    EXPECT_EQ(outcome.exitCode, 0) << outcome.detail;
+    EXPECT_FALSE(readFile(metrics).empty());
+}
+
 // Recording must be byte-transparent: the same invocation produces
 // identical stdout and an identical metrics file whether or not the
 // recorder's capture hooks are installed.

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "core/evaluator.h"
 #include "core/gables.h"
 #include "core/serialize.h"
 #include "serve/cache.h"
@@ -330,6 +331,43 @@ TEST(ServeProtocol, StatsReportParsesAsRunReport)
     JsonValue snapshot = parseJson(service.statsReportJson());
     EXPECT_EQ(snapshot.at("schema").at("name").asString(),
               "gables-run-report");
+}
+
+TEST(ServeProtocol, StatsExposeEvalCountCacheRateAndLaneWidth)
+{
+    serve::ServeService service{serve::ServeOptions{}};
+    SocSpec soc = SocCatalog::paperTwoIp();
+    Usecase usecase = paperUsecase(0.75, 8.0, 0.1);
+    service.handleLine(evalRequest(1, soc, usecase)); // miss
+    service.handleLine(evalRequest(2, soc, usecase)); // hit
+    service.handleLine(modelRequest(
+        3, "sweep", soc, usecase,
+        "\"axis\": \"intensity\", \"ip\": 1, "
+        "\"values\": [0.1, 1, 10, 100]"));
+
+    JsonValue report = statsDoc(service);
+    // Two evals plus four sweep grid points.
+    EXPECT_EQ(statValue(report, "serve.model_evals"), 6.0);
+    EXPECT_EQ(statValue(report, "serve.sweep_points"), 4.0);
+    const double rate = statValue(report, "serve.cache_hit_rate");
+    EXPECT_GT(rate, 0.0);
+    EXPECT_LE(rate, 1.0);
+
+    // The lane-width config field tracks the runtime toggle, so a
+    // loadgen reading the stats op can tell which path served it.
+    EXPECT_EQ(report.at("config").at("simd_compiled").asNumber(),
+              simd::kCompiledIn ? 1.0 : 0.0);
+    EXPECT_EQ(report.at("config").at("simd_lane_width").asNumber(),
+              simd::enabled()
+                  ? static_cast<double>(GablesEvalPack::kWidth)
+                  : 1.0);
+    {
+        simd::ScopedEnable off(false);
+        JsonValue scalar = statsDoc(service);
+        EXPECT_EQ(
+            scalar.at("config").at("simd_lane_width").asNumber(),
+            1.0);
+    }
 }
 
 TEST(ServeProtocol, BatchMatchesSerialByteForByte)
